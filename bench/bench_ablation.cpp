@@ -1,0 +1,121 @@
+// Experiment E2 — ablations of the paper's design choices:
+//   (a) Section 4.4: the a-threshold knob — endpoints beat the middle, and
+//       which endpoint wins flips with the comparator size;
+//   (b) Section 5.1: IBLP's layer ordering and inclusion policy;
+//   (c) Section 6.1: GCM vs marking that ignores granularity change vs
+//       marking that marks whole blocks.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bounds/competitive.hpp"
+#include "core/simulator.hpp"
+#include "policies/factory.hpp"
+#include "traces/adversary.hpp"
+#include "traces/synthetic.hpp"
+
+namespace gcaching::bench {
+namespace {
+
+std::vector<Workload> ablation_workloads(bool quick) {
+  const std::size_t len = quick ? 20000 : 80000;
+  std::vector<Workload> out;
+  out.push_back(traces::sequential_scan(4096, 16, len));
+  out.push_back(traces::hot_item_per_block(64, 16, len, 64, 0.05, 11));
+  out.push_back(traces::zipf_blocks(256, 16, len, 0.9, 6, 12));
+  out.push_back(traces::scan_with_hotset(256, 16, len, 0.3, 0.9, 8, 13));
+  return out;
+}
+
+void athreshold_sweep(const BenchOptions& opts) {
+  const std::size_t k = 1024, B = 16;
+  // Section 4.4: the Theorem 4 bound is monotone in a with slope
+  // 1 - B/(k-h+1), so the optimal endpoint flips at k-h+1 = B. The flip
+  // itself is a formula property (shown analytically in the "tight"
+  // column: when the caches are near-equal the bound *decreases* in a);
+  // the wide-gap regime is also exercised empirically: the measured
+  // adversarial ratio climbs with a toward the Item-Cache worst case.
+  TableSink sink(opts,
+                 "E2a — a-threshold sweep (Theorem 4 / Section 4.4): "
+                 "endpoint choice flips at k-h+1 = B",
+                 "ablation_athreshold",
+                 {"a", "bound @ h=k-B/2 (tight)", "bound @ h=k/8 (wide)",
+                  "measured ratio (wide adversary)", "observed a"});
+  traces::AdversaryOptions wide;  // k - h + 1 >> B: a = 1 should win
+  wide.k = k;
+  wide.h = k / 8;
+  wide.B = B;
+  wide.phases = opts.quick ? 8 : 16;
+  const double kd = static_cast<double>(k), Bd = static_cast<double>(B);
+  const double h_tight = kd - Bd / 2, h_wide = kd / 8;
+  for (unsigned a : {1u, 2u, 4u, 8u, 16u}) {
+    auto pol = make_policy("athreshold:a=" + std::to_string(a), k);
+    const auto r_wide = traces::run_general_adversary(*pol, wide);
+    sink.add_row({fmti(a),
+                  fmtr(bounds::athreshold_lower(kd, h_tight, Bd, a)),
+                  fmtr(bounds::athreshold_lower(kd, h_wide, Bd, a)),
+                  fmtr(r_wide.steady_ratio()),
+                  fmti(r_wide.max_observed_a)});
+  }
+  sink.flush();
+}
+
+void iblp_variants(const BenchOptions& opts) {
+  const std::size_t k = 256;
+  TableSink sink(opts,
+                 "E2b — IBLP design ablations & GC-aware competitors: "
+                 "misses on synthetic workloads (k = 256, i = b = 128)",
+                 "ablation_iblp",
+                 {"workload", "iblp (item-first)", "iblp-excl",
+                  "iblp-blockfirst", "footprint", "item-arc", "item-lru",
+                  "block-lru"});
+  for (const auto& w : ablation_workloads(opts.quick)) {
+    std::vector<std::string> row{w.name};
+    for (const std::string spec :
+         {"iblp", "iblp-excl", "iblp-blockfirst", "footprint", "item-arc",
+          "item-lru", "block-lru"}) {
+      auto p = make_policy(spec, k);
+      row.push_back(fmti(simulate(w, *p, k).misses));
+    }
+    sink.add_row(row);
+  }
+  sink.flush();
+}
+
+void marking_variants(const BenchOptions& opts) {
+  const std::size_t k = 256;
+  TableSink sink(opts,
+                 "E2c — marking ablations (Section 6.1): misses (k = 256)",
+                 "ablation_marking",
+                 {"workload", "gcm", "marking-item", "marking-blockmark",
+                  "gcm wasted sideloads", "blockmark wasted sideloads"});
+  for (const auto& w : ablation_workloads(opts.quick)) {
+    auto gcm = make_policy("gcm:seed=3", k);
+    auto item = make_policy("marking-item:seed=3", k);
+    auto blockmark = make_policy("marking-blockmark:seed=3", k);
+    const auto s_gcm = simulate(w, *gcm, k);
+    const auto s_item = simulate(w, *item, k);
+    const auto s_bm = simulate(w, *blockmark, k);
+    sink.add_row({w.name, fmti(s_gcm.misses), fmti(s_item.misses),
+                  fmti(s_bm.misses), fmti(s_gcm.wasted_sideloads),
+                  fmti(s_bm.wasted_sideloads)});
+  }
+  sink.flush();
+  std::cout
+      << "Reading: (a) the best a sits at an endpoint and the winning\n"
+         "endpoint flips between the two geometries; (b) item-first\n"
+         "non-inclusive IBLP is the only variant robust on every workload;\n"
+         "(c) GCM beats granularity-oblivious marking wherever spatial\n"
+         "locality exists and avoids mark-all's pollution on hot-item\n"
+         "workloads.\n";
+}
+
+}  // namespace
+}  // namespace gcaching::bench
+
+int main(int argc, char** argv) {
+  const auto opts = gcaching::bench::parse_args(argc, argv);
+  gcaching::bench::athreshold_sweep(opts);
+  gcaching::bench::iblp_variants(opts);
+  gcaching::bench::marking_variants(opts);
+  return 0;
+}

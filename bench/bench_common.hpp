@@ -1,0 +1,74 @@
+// Shared scaffolding for the reproduction benches.
+//
+// Every bench binary:
+//   * prints its table/figure as aligned text (the paper's rows/series);
+//   * accepts `--csv <dir>` to additionally emit machine-readable CSVs;
+//   * accepts `--quick` to shrink empirical sections for smoke runs.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace gcaching::bench {
+
+struct BenchOptions {
+  std::optional<std::string> csv_dir;
+  bool quick = false;
+};
+
+inline BenchOptions parse_args(int argc, char** argv) {
+  BenchOptions opts;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--csv" && a + 1 < argc) {
+      opts.csv_dir = argv[++a];
+    } else if (arg == "--quick") {
+      opts.quick = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0] << " [--csv DIR] [--quick]\n";
+      std::exit(0);
+    }
+  }
+  return opts;
+}
+
+/// Emits a finished table to stdout and, when requested, to CSV.
+class TableSink {
+ public:
+  TableSink(const BenchOptions& opts, const std::string& title,
+            const std::string& csv_name, std::vector<std::string> headers)
+      : title_(title), table_(headers) {
+    if (opts.csv_dir)
+      csv_.emplace(*opts.csv_dir + "/" + csv_name + ".csv", headers);
+  }
+
+  void add_row(const std::vector<std::string>& cells) {
+    table_.add_row(cells);
+    if (csv_) csv_->add_row(cells);
+  }
+
+  void add_separator() { table_.add_separator(); }
+
+  void flush() {
+    std::cout << "== " << title_ << " ==\n" << table_ << "\n";
+  }
+
+ private:
+  std::string title_;
+  TextTable table_;
+  std::optional<CsvWriter> csv_;
+};
+
+inline std::string fmt(double v, int precision = 3) {
+  return TextTable::fmt(v, precision);
+}
+inline std::string fmtr(double v) { return TextTable::fmt_ratio(v); }
+inline std::string fmti(std::uint64_t v) { return TextTable::fmt_int(v); }
+
+}  // namespace gcaching::bench

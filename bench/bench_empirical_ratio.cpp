@@ -1,0 +1,101 @@
+// Experiment E1 (beyond the paper's analytic content): measured
+// steady-state competitive ratios of every policy family against the three
+// executable adversaries, side by side with the analytic bounds they
+// instantiate. This is the bridge between the theory (Sections 4-5) and
+// running code.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bounds/competitive.hpp"
+#include "bounds/iblp_upper.hpp"
+#include "bounds/partition.hpp"
+#include "policies/factory.hpp"
+#include "traces/adversary.hpp"
+
+namespace gcaching::bench {
+namespace {
+
+void run(const BenchOptions& opts) {
+  const std::size_t k = opts.quick ? 512 : 1024;
+  const std::size_t B = 16;
+  const std::size_t phases = opts.quick ? 8 : 24;
+
+  for (std::size_t h : {static_cast<std::size_t>(2 * B),
+                        static_cast<std::size_t>(4 * B)}) {
+    traces::AdversaryOptions ao;
+    ao.k = k;
+    ao.h = h;
+    ao.B = B;
+    ao.phases = phases;
+
+    const double kd = static_cast<double>(k), hd = static_cast<double>(h),
+                 Bd = static_cast<double>(B);
+    const auto part = bounds::iblp_optimal_partition(kd, hd, Bd);
+    std::size_t i_star = static_cast<std::size_t>(part.item_layer + 0.5);
+    if (k - i_star > 0 && k - i_star < B) i_star = k - B;
+    const std::string iblp_star = "iblp:i=" + std::to_string(i_star) +
+                                  ",b=" + std::to_string(k - i_star);
+
+    const std::vector<std::pair<std::string, std::string>> policies = {
+        {"item-lru", "Thm2: " + fmtr(bounds::item_cache_lower(kd, hd, Bd))},
+        {"item-fifo", "Thm2: " + fmtr(bounds::item_cache_lower(kd, hd, Bd))},
+        {"item-clock", "Thm2: " + fmtr(bounds::item_cache_lower(kd, hd, Bd))},
+        {"block-lru",
+         "Thm3: " + fmtr(bounds::block_cache_lower(kd, hd, Bd))},
+        {"athreshold:a=1",
+         "Thm4(a=1): " + fmtr(bounds::athreshold_lower(kd, hd, Bd, 1))},
+        {"athreshold:a=4",
+         "Thm4(a=4): " + fmtr(bounds::athreshold_lower(kd, hd, Bd, 4))},
+        {"athreshold:a=16",
+         "Thm4(a=B): " + fmtr(bounds::athreshold_lower(kd, hd, Bd, Bd))},
+        {"iblp", "Thm7(i=b): " +
+                     fmtr(bounds::iblp_upper(kd / 2, kd / 2, hd, Bd))},
+        {iblp_star, "Sec5.3 opt: " + fmtr(part.ratio)},
+        {"footprint", "(adaptive a)"},
+        {"item-arc", "Thm2: " + fmtr(bounds::item_cache_lower(kd, hd, Bd))},
+        {"gcm", "(randomized)"},
+    };
+
+    TableSink sink(
+        opts,
+        "E1 — measured steady ratios vs adversaries (k = " +
+            std::to_string(k) + ", h = " + std::to_string(h) +
+            ", B = " + std::to_string(B) + ")",
+        "empirical_ratio_h" + std::to_string(h),
+        {"policy", "vs Thm2 adv", "vs Thm3 adv", "vs Thm4 adv",
+         "observed a", "relevant analytic bound"});
+
+    for (const auto& [spec, bound_str] : policies) {
+      auto p1 = make_policy(spec, k);
+      const auto r2 = traces::run_item_adversary(*p1, ao);
+      std::string thm3_cell = "n/a";
+      if (h <= k / B) {
+        auto p2 = make_policy(spec, k);
+        thm3_cell = fmtr(traces::run_block_adversary(*p2, ao).steady_ratio());
+      }
+      auto p3 = make_policy(spec, k);
+      const auto r4 = traces::run_general_adversary(*p3, ao);
+      sink.add_row({spec, fmtr(r2.steady_ratio()), thm3_cell,
+                    fmtr(r4.steady_ratio()), fmti(r4.max_observed_a),
+                    bound_str});
+    }
+    sink.flush();
+  }
+  std::cout
+      << "Reading: each policy family's measured ratio approaches its own\n"
+         "lower bound under the adversary built for it (Item Caches ~ Thm2,\n"
+         "Block Caches ~ Thm3, a-threshold ~ Thm4) while the other\n"
+         "adversaries leave it mostly unharmed; IBLP at the Section 5.3\n"
+         "split stays within a small constant of its Theorem 7 bound under\n"
+         "all three (the prescribed-OPT accounting is exact only for each\n"
+         "adversary's target class — see DESIGN.md).\n";
+}
+
+}  // namespace
+}  // namespace gcaching::bench
+
+int main(int argc, char** argv) {
+  const auto opts = gcaching::bench::parse_args(argc, argv);
+  gcaching::bench::run(opts);
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Reproduces Figure 3: "Comparing bounds in the GC Caching Problem" —
+// competitive ratio (y) vs optimal cache size h (x) at fixed online size
+// k = 1.28M, block size B = 64.
+//
+// Series, as in the figure:
+//   * Sleator-Tarjan bound (traditional caching)
+//   * our GC lower bound (best-a Theorem 4)
+//   * IBLP upper bound at the per-h optimal partition (Section 5.3)
+//   * Item Cache lower bound (Theorem 2)
+//   * Block Cache lower bound (Theorem 3; infinite until k > B(h-1))
+//
+// A second, scaled-down *empirical* section replays the same comparison
+// with live policies against the executable adversaries (k = 2048, B = 16),
+// confirming the analytic ordering with measured miss ratios.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bounds/competitive.hpp"
+#include "bounds/partition.hpp"
+#include "policies/factory.hpp"
+#include "traces/adversary.hpp"
+
+namespace gcaching::bench {
+namespace {
+
+void analytic_sweep(const BenchOptions& opts) {
+  const double k = 1.28e6;
+  const double B = 64;
+  TableSink sink(opts,
+                 "Figure 3 — competitive-ratio bounds vs h  (k = 1.28M, "
+                 "B = 64)",
+                 "figure3_analytic",
+                 {"h", "Sleator-Tarjan", "GC lower", "IBLP upper",
+                  "ItemCache lower", "BlockCache lower"});
+  // Log-spaced h from B to k/2 (the figure's x-axis).
+  for (double h = B; h <= k / 2; h *= 2) {
+    sink.add_row({fmti(static_cast<std::uint64_t>(h)),
+                  fmtr(bounds::sleator_tarjan_lower(k, h)),
+                  fmtr(bounds::gc_lower_bound(k, h, B)),
+                  fmtr(bounds::iblp_optimal_partition(k, h, B).ratio),
+                  fmtr(bounds::item_cache_lower(k, h, B)),
+                  fmtr(bounds::block_cache_lower(k, h, B))});
+  }
+  sink.flush();
+  std::cout
+      << "Shape checks (paper, Section 4.4/5.3): the GC lower bound starts\n"
+         "near Bx at h ~ k and tapers to 2x at h ~ k/B; IBLP tracks it\n"
+         "within ~3x everywhere; the Item Cache is ~B/2 x worse at large h;\n"
+         "the Block Cache is unbounded until h < k/B + 1.\n\n";
+}
+
+void empirical_sweep(const BenchOptions& opts) {
+  const std::size_t k = opts.quick ? 512 : 2048;
+  const std::size_t B = 16;
+  const std::size_t phases = opts.quick ? 8 : 24;
+  TableSink sink(opts,
+                 "Figure 3 (empirical, scaled) — measured steady ratios vs "
+                 "adversaries (k = " +
+                     std::to_string(k) + ", B = " + std::to_string(B) + ")",
+                 "figure3_empirical",
+                 {"h", "item-lru vs Thm2 (bound)", "block-lru vs Thm3 (bound)",
+                  "iblp* vs Thm2", "iblp* vs Thm3"});
+  for (std::size_t h : {B + 2, 2 * B, 4 * B, 8 * B}) {
+    traces::AdversaryOptions ao;
+    ao.k = k;
+    ao.h = h;
+    ao.B = B;
+    ao.phases = phases;
+
+    auto lru = make_policy("item-lru", k);
+    const auto r_item = traces::run_item_adversary(*lru, ao);
+    const double b_item = bounds::item_cache_lower(
+        static_cast<double>(k), static_cast<double>(h),
+        static_cast<double>(B));
+
+    std::string block_cell = "n/a";
+    if (h <= k / B) {
+      auto blk = make_policy("block-lru", k);
+      const auto r_block = traces::run_block_adversary(*blk, ao);
+      const double b_block = bounds::block_cache_lower(
+          static_cast<double>(k), static_cast<double>(h),
+          static_cast<double>(B));
+      block_cell = fmtr(r_block.steady_ratio()) + " (" + fmtr(b_block) + ")";
+    }
+
+    // IBLP at the Section 5.3 optimal split for this h.
+    const auto choice = bounds::iblp_optimal_partition(
+        static_cast<double>(k), static_cast<double>(h),
+        static_cast<double>(B));
+    std::size_t i_star = static_cast<std::size_t>(choice.item_layer + 0.5);
+    if (k - i_star > 0 && k - i_star < B) i_star = k - B;  // keep b >= B
+    const std::string spec = "iblp:i=" + std::to_string(i_star) +
+                             ",b=" + std::to_string(k - i_star);
+    auto ib1 = make_policy(spec, k);
+    const auto r_ib_item = traces::run_item_adversary(*ib1, ao);
+    std::string ib_block_cell = "n/a";
+    if (h <= k / B) {
+      auto ib2 = make_policy(spec, k);
+      const auto r_ib_block = traces::run_block_adversary(*ib2, ao);
+      ib_block_cell = fmtr(r_ib_block.steady_ratio());
+    }
+
+    sink.add_row({fmti(h),
+                  fmtr(r_item.steady_ratio()) + " (" + fmtr(b_item) + ")",
+                  block_cell, fmtr(r_ib_item.steady_ratio()), ib_block_cell});
+  }
+  sink.flush();
+  std::cout
+      << "Reading: measured ratios sit at or just below their analytic\n"
+         "bounds; IBLP's ratio under both adversaries stays far below the\n"
+         "specialists' worst cases — the Figure 3 ordering, empirically.\n";
+}
+
+}  // namespace
+}  // namespace gcaching::bench
+
+int main(int argc, char** argv) {
+  const auto opts = gcaching::bench::parse_args(argc, argv);
+  gcaching::bench::analytic_sweep(opts);
+  gcaching::bench::empirical_sweep(opts);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Experiment E6 (beyond-paper): data layout x replacement policy.
+//
+// The paper provides "the first theoretical framework to better understand
+// and guide" designs including item-to-block allocation (Section 1). This
+// bench closes the loop empirically: the same access sequences under three
+// layouts — the application's natural layout, a randomized one, and a
+// greedy co-access (affinity) layout — across the policy families. Spatial
+// locality is a property of layout x policy: GC-aware policies only pay off
+// when the layout co-locates co-accessed items, and the affinity pass can
+// manufacture that structure.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/simulator.hpp"
+#include "locality/window_profile.hpp"
+#include "policies/factory.hpp"
+#include "traces/layout.hpp"
+#include "traces/synthetic.hpp"
+
+namespace gcaching::bench {
+namespace {
+
+void run(const BenchOptions& opts) {
+  const std::size_t B = 8;
+  const std::size_t k = 128;
+  const std::size_t len = opts.quick ? 30000 : 120000;
+
+  struct Base {
+    std::string label;
+    Workload w;
+  };
+  std::vector<Base> bases;
+  // Layout-friendly already: sequential scan.
+  bases.push_back({"seq-scan", traces::sequential_scan(1024, B, len)});
+  // Layout-neutral: pointer chase with no intra-block preference.
+  bases.push_back(
+      {"pointer-chase", traces::pointer_chase(128, B, len, 0.0, 0.02, 7)});
+  // Popularity-driven: zipf items (hot items scattered by address).
+  bases.push_back({"zipf-items", traces::zipf_items(1024, B, len, 0.9, 8)});
+
+  for (const auto& base : bases) {
+    const auto shuffled = traces::with_layout(
+        base.w, traces::random_layout(base.w.map->num_items(), B, 42),
+        "random layout");
+    const auto clustered = traces::with_layout(
+        base.w,
+        traces::affinity_layout(base.w.trace, base.w.map->num_items(), B),
+        "affinity layout");
+    const std::vector<std::pair<std::string, const Workload*>> layouts = {
+        {"natural", &base.w},
+        {"random", &shuffled},
+        {"affinity", &clustered}};
+
+    TableSink sink(opts, "E6 — " + base.label + ": miss rate by layout",
+                   "layout_" + base.label,
+                   {"policy", "natural", "random", "affinity",
+                    "f/g natural", "f/g affinity"});
+    const auto prof_nat = locality::compute_profile(base.w, {256});
+    const auto prof_aff = locality::compute_profile(clustered, {256});
+    bool first_row = true;
+    for (const std::string spec :
+         {"item-lru", "block-lru", "iblp", "footprint", "gcm"}) {
+      std::vector<std::string> row{spec};
+      for (const auto& [label, w] : layouts) {
+        (void)label;
+        auto policy = make_policy(spec, k);
+        row.push_back(fmt(simulate(*w, *policy, k).miss_rate(), 4));
+      }
+      row.push_back(first_row ? fmt(prof_nat.spatial_ratio(0), 2) : "");
+      row.push_back(first_row ? fmt(prof_aff.spatial_ratio(0), 2) : "");
+      first_row = false;
+      sink.add_row(row);
+    }
+    sink.flush();
+  }
+  std::cout
+      << "Reading: Item Caches are layout-invariant (their columns are\n"
+         "identical); GC-aware policies lose their edge under the random\n"
+         "layout and the affinity pass restores (or creates) it — spatial\n"
+         "locality is a joint property of allocation and policy, which is\n"
+         "precisely why the paper's framework speaks to allocation work\n"
+         "like cache-conscious placement.\n";
+}
+
+}  // namespace
+}  // namespace gcaching::bench
+
+int main(int argc, char** argv) {
+  const auto opts = gcaching::bench::parse_args(argc, argv);
+  gcaching::bench::run(opts);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Experiment E3 — google-benchmark microbenchmarks: simulator throughput
+// (accesses/second) for every policy family, at two cache sizes, on a
+// Zipf-over-blocks workload with moderate spatial locality. Establishes
+// that the verifying simulator is fast enough for the multi-million-access
+// sweeps the other benches run.
+#include <benchmark/benchmark.h>
+
+#include "core/simulator.hpp"
+#include "policies/factory.hpp"
+#include "traces/synthetic.hpp"
+
+namespace gcaching {
+namespace {
+
+const Workload& shared_workload() {
+  static const Workload w =
+      traces::zipf_blocks(4096, 16, 1 << 20, 0.9, 6, 2026);
+  return w;
+}
+
+void BM_Policy(benchmark::State& state, const std::string& spec,
+               std::size_t capacity) {
+  const Workload& w = shared_workload();
+  for (auto _ : state) {
+    auto policy = make_policy(spec, capacity);
+    const SimStats stats = simulate(w, *policy, capacity);
+    benchmark::DoNotOptimize(stats.misses);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.trace.size()));
+  state.counters["miss_rate"] = [&] {
+    auto policy = make_policy(spec, capacity);
+    return simulate(w, *policy, capacity).miss_rate();
+  }();
+}
+
+void register_all() {
+  const std::vector<std::string> specs = {
+      "item-lru",       "item-fifo",         "item-lfu",
+      "item-clock",     "item-random",       "item-slru",
+      "item-arc",       "footprint",         "block-lru",
+      "block-fifo",     "iblp",              "iblp-excl",
+      "iblp-blockfirst", "gcm",              "marking-item",
+      "marking-blockmark", "athreshold:a=4", "belady-item",
+      "belady-block",   "belady-greedy-gc"};
+  for (std::size_t capacity : {std::size_t{4096}, std::size_t{65536}}) {
+    for (const auto& spec : specs) {
+      benchmark::RegisterBenchmark(
+          (spec + "/k=" + std::to_string(capacity)).c_str(),
+          [spec, capacity](benchmark::State& st) {
+            BM_Policy(st, spec, capacity);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gcaching
+
+int main(int argc, char** argv) {
+  gcaching::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Section 6 — randomized policies in GC caching.
+//
+// Two claims made in the text, turned into experiments:
+//
+//   (6.1) A marking algorithm that ignores granularity change has
+//         competitive ratio >= B regardless of cache size, witnessed by
+//         repeatedly accessing every item of fresh blocks; GCM fixes this
+//         by side-loading unmarked. Conversely, marking that *marks* whole
+//         blocks suffers Block-Cache-style pollution.
+//
+//   (6.2) Randomization does not remove the comparator-size dependence:
+//         load-little policies look better against equal-size comparators,
+//         load-everything policies against much smaller ones — the relative
+//         order of the randomized variants flips with h.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bounds/randomized.hpp"
+#include "core/simulator.hpp"
+#include "policies/factory.hpp"
+#include "traces/adversary.hpp"
+#include "traces/synthetic.hpp"
+
+namespace gcaching::bench {
+namespace {
+
+void oblivious_marking_penalty(const BenchOptions& opts) {
+  // Whole-block scan over fresh blocks, repeated: an offline cache pays one
+  // miss per block; granularity-oblivious marking pays ~B.
+  const std::size_t B = 16;
+  TableSink sink(opts,
+                 "Section 6.1 — granularity-oblivious marking pays ~Bx on "
+                 "whole-block scans (B = 16)",
+                 "section6_oblivious",
+                 {"k", "policy", "misses", "misses / (blocks touched)",
+                  "~ratio vs OPT"});
+  for (std::size_t k : {128u, 512u, 2048u}) {
+    const std::size_t blocks = opts.quick ? 256 : 1024;
+    const auto w = traces::sequential_scan(blocks * B, B, blocks * B);
+    const double opt = static_cast<double>(blocks);  // one load per block
+    for (const std::string spec :
+         {"marking-item:seed=1", "gcm:seed=1", "marking-blockmark:seed=1"}) {
+      auto policy = make_policy(spec, k);
+      const SimStats s = simulate(w, *policy, k);
+      sink.add_row({fmti(k), spec, fmti(s.misses),
+                    fmt(static_cast<double>(s.misses) / opt, 2),
+                    fmt(static_cast<double>(s.misses) / opt, 2)});
+    }
+    sink.add_separator();
+  }
+  sink.flush();
+  // Context (Fiat et al., cited in Section 1): in *traditional* caching
+  // randomization buys marking a 2 H_k ratio — for k = 2048 that is only
+  // ~2*8.2; the Theta(B) granularity penalty above dwarfs it.
+  std::cout << "For scale: randomized marking's traditional-caching bound "
+               "2 H_k at k = 2048 is "
+            << fmt(bounds::randomized_marking_upper(2048), 2)
+            << "; ignoring granularity change costs B = 16 regardless of "
+               "k.\n\n";
+}
+
+void comparator_size_dependence(const BenchOptions& opts) {
+  // Section 6.2: which randomized variant looks better depends on the
+  // comparator size. Two certified-OPT workloads:
+  //   * pollution cycle — one item from each of W = k - B distinct blocks,
+  //     cycling. An offline cache of size h = W serves it with W cold
+  //     misses, so this is the "similar-size comparator" regime: every
+  //     slot devoted to spatial speculation is a liability.
+  //   * whole-block scan — every item of fresh blocks, cycling. OPT (any
+  //     size >= B) pays one miss per block: the "much smaller comparator"
+  //     regime where loading everything is exactly right.
+  const std::size_t k = opts.quick ? 256 : 1024;
+  const std::size_t B = 16;
+  const std::size_t W = k - B;  // pollution working set == comparator size
+  const std::size_t laps = opts.quick ? 40 : 100;
+
+  // Pollution cycle: items 0, B, 2B, ... (one per block), repeated.
+  Workload cycle;
+  cycle.map = make_uniform_blocks(W * B, B);
+  cycle.name = "pollution-cycle";
+  for (std::size_t lap = 0; lap < laps; ++lap)
+    for (std::size_t j = 0; j < W; ++j)
+      cycle.trace.push(static_cast<ItemId>(j * B));
+  const double opt_cycle = static_cast<double>(W);  // cold misses only
+
+  // Whole-block scan (reuse the Section 6.1 trace shape, but repeated so
+  // steady state matters and OPT-per-lap is the block count).
+  const std::size_t blocks = 4 * k / B;
+  Workload scan = traces::sequential_scan(blocks * B, B, laps * blocks * B);
+  const double opt_scan = static_cast<double>(blocks);  // per lap, size >= B
+  const double scan_laps = static_cast<double>(laps);
+
+  TableSink sink(
+      opts,
+      "Section 6.2 — the better randomized variant flips with the "
+      "comparator regime (k = " + std::to_string(k) + ", B = 16)",
+      "section6_dependence",
+      {"policy", "ratio vs h~k comparator (pollution cycle)",
+       "ratio vs small comparator (whole-block scan)"});
+  for (const std::string spec :
+       {"marking-item:seed=2", "gcm:seed=2", "marking-blockmark:seed=2"}) {
+    auto p1 = make_policy(spec, k);
+    const double r_cycle =
+        static_cast<double>(simulate(cycle, *p1, k).misses) / opt_cycle;
+    auto p2 = make_policy(spec, k);
+    const double r_scan =
+        static_cast<double>(simulate(scan, *p2, k).misses) /
+        (opt_scan * scan_laps);
+    sink.add_row({spec, fmtr(r_cycle), fmtr(r_scan)});
+  }
+  sink.flush();
+  std::cout
+      << "Reading: with a near-equal comparator (left column) the\n"
+         "load-little variant wins and load-everything thrashes at ~B x;\n"
+         "with a much smaller comparator (right column) the order reverses\n"
+         "— randomization does not decouple relative competitiveness from\n"
+         "the comparison point (Section 6.2). GCM is the only variant\n"
+         "acceptable in both regimes.\n";
+}
+
+}  // namespace
+}  // namespace gcaching::bench
+
+int main(int argc, char** argv) {
+  const auto opts = gcaching::bench::parse_args(argc, argv);
+  gcaching::bench::oblivious_marking_penalty(opts);
+  gcaching::bench::comparator_size_dependence(opts);
+  return 0;
+}

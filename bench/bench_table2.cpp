@@ -1,0 +1,186 @@
+// Reproduces Table 2: fault-rate bounds in the extended locality model for
+// f(n) = x^{1/p} and g = f / gamma, comparing an equally split IBLP cache
+// (i = b) against the lower bound for a cache of half the size (h = i + b).
+//
+// Paper rows (B = block size):
+//   f        g              LowerBound      item-layer UB   block-layer UB
+//   x^1/2    x^1/2          1/h             1/i             B/b
+//   x^1/2    x^1/2/B^1/2    1/(B^1/2 h)     1/i             1/b
+//   x^1/2    x^1/2/B        1/(Bh)          1/i             1/(Bb)
+//   x^1/p    x^1/p          1/h^(p-1)       1/i^(p-1)       B^(p-1)/b^(p-1)
+//   x^1/p    x^1/p/B^1/2    1/(B^(p-1)/p h^(p-1))  1/i^(p-1)  1/b^(p-1)
+//   x^1/p    x^1/p/B        1/(B h^(p-1))   1/i^(p-1)       1/(B b^(p-1))
+//
+// NOTE (documented in DESIGN.md): the printed middle rows for general p are
+// only self-consistent when gamma = B^(1-1/p) (the Section 7.3 crossover),
+// which equals B^(1/2) exactly at p = 2. We therefore emit BOTH the literal
+// gamma = B^(1/2) rows and the crossover gamma = B^(1-1/p) rows.
+//
+// A second section validates the bounds *empirically*: generated traces ->
+// measured f, g profiles -> Theorem 9-11 bounds from the measurements ->
+// simulated fault rates of IBLP and the baselines, checking dominance.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bounds/locality_bounds.hpp"
+#include "core/simulator.hpp"
+#include "locality/poly_fit.hpp"
+#include "locality/window_profile.hpp"
+#include "policies/factory.hpp"
+#include "traces/locality_trace.hpp"
+
+namespace gcaching::bench {
+namespace {
+
+void analytic_table(const BenchOptions& opts) {
+  const double B = 64;
+  const double i = 8192, b = 8192, h = i + b;
+  TableSink sink(
+      opts,
+      "Table 2 — locality-model bounds (B = 64, i = b = 8192, h = i + b)",
+      "table2_analytic",
+      {"f", "g", "paper LB", "LB (computed)", "paper item UB",
+       "item UB (computed)", "paper block UB", "block UB (computed)"});
+
+  struct Row {
+    double p;
+    double gamma;
+    std::string gname, plb, pitem, pblock;
+  };
+  std::vector<Row> rows;
+  for (double p : {2.0, 3.0, 4.0}) {
+    const std::string ps = (p == 2.0) ? "1/2" : "1/" + fmt(p, 0);
+    const std::string fp = "x^" + ps;
+    auto add = [&](double gamma, const std::string& gname,
+                   const std::string& plb, const std::string& pitem,
+                   const std::string& pblock) {
+      rows.push_back({p, gamma, gname, plb, pitem, pblock});
+      (void)fp;
+    };
+    add(1.0, "x^" + ps, "1/h^" + fmt(p - 1, 0), "1/i^" + fmt(p - 1, 0),
+        "B^" + fmt(p - 1, 0) + "/b^" + fmt(p - 1, 0));
+    add(std::sqrt(B), "x^" + ps + "/B^1/2",
+        "1/(B^1/2 h^" + fmt(p - 1, 0) + ")", "1/i^" + fmt(p - 1, 0),
+        p == 2.0 ? "1/b^1" : "(literal row; see crossover)");
+    if (p != 2.0)
+      add(std::pow(B, 1.0 - 1.0 / p), "x^" + ps + "/B^(1-1/p)",
+          "1/(B^((p-1)/p) h^" + fmt(p - 1, 0) + ")",
+          "1/i^" + fmt(p - 1, 0), "1/b^" + fmt(p - 1, 0));
+    add(B, "x^" + ps + "/B", "1/(B h^" + fmt(p - 1, 0) + ")",
+        "1/i^" + fmt(p - 1, 0), "1/(B b^" + fmt(p - 1, 0) + ")");
+  }
+
+  for (const auto& r : rows) {
+    const auto f = bounds::make_poly_locality(1.0, r.p);
+    const auto g = bounds::derive_block_locality(f, r.gamma);
+    const double lb = bounds::fault_rate_lower(f, g, h);
+    const double iub = bounds::iblp_item_fault_upper(f, i);
+    const double bub = bounds::iblp_block_fault_upper(g, b, B);
+    const std::string fs = "x^1/" + fmt(r.p, 0);
+    sink.add_row({fs, r.gname, r.plb, fmt(lb, 10), r.pitem, fmt(iub, 10),
+                  r.pblock, fmt(bub, 10)});
+  }
+  sink.flush();
+
+  // Shape verification: computed / paper-asymptotic ratios near 1.
+  TableSink shapes(opts,
+                   "Table 2 shape check — computed bound / paper asymptotic",
+                   "table2_shapes",
+                   {"p", "gamma", "LB ratio", "item UB ratio",
+                    "block UB ratio"});
+  for (double p : {2.0, 3.0, 4.0}) {
+    for (double gamma : {1.0, std::pow(B, 1.0 - 1.0 / p), B}) {
+      const auto f = bounds::make_poly_locality(1.0, p);
+      const auto g = bounds::derive_block_locality(f, gamma);
+      const double lb = bounds::fault_rate_lower(f, g, h);
+      const double iub = bounds::iblp_item_fault_upper(f, i);
+      const double bub = bounds::iblp_block_fault_upper(g, b, B);
+      const double lb_asym = 1.0 / (gamma * std::pow(h, p - 1.0));
+      const double iub_asym = 1.0 / std::pow(i, p - 1.0);
+      const double bub_asym =
+          std::pow(B, p - 1.0) /
+          (std::pow(gamma, p) * std::pow(b, p - 1.0));
+      shapes.add_row({fmt(p, 0), fmt(gamma, 1), fmt(lb / lb_asym, 3),
+                      fmt(iub / iub_asym, 3), fmt(bub / bub_asym, 3)});
+    }
+  }
+  shapes.flush();
+}
+
+void empirical_section(const BenchOptions& opts) {
+  const std::size_t B = 16;
+  const std::size_t i = 128, b = 128, k = i + b;
+  const std::size_t len = opts.quick ? 30000 : 120000;
+  TableSink sink(
+      opts,
+      "Table 2 (empirical) — measured profile -> Theorem 11 bound vs "
+      "simulated fault rates (B = 16, IBLP i = b = 128)",
+      "table2_empirical",
+      {"workload", "fitted p", "measured f/g", "Thm11 UB (measured f,g)",
+       "IBLP rate", "item-lru rate", "block-lru rate", "UB holds"});
+
+  for (double p : {2.0, 3.0}) {
+    for (double gamma : {1.0, 4.0, 16.0}) {
+      const auto w = traces::stack_distance_workload(
+          2048, B, p, gamma, len, 42 + static_cast<std::uint64_t>(p * 10 + gamma));
+      const auto prof = locality::compute_profile(w);
+      const auto f = locality::interpolate_locality(prof.window_lengths,
+                                                    prof.max_distinct_items);
+      const auto g = locality::interpolate_locality(
+          prof.window_lengths, prof.max_distinct_blocks);
+      const auto fit = locality::fit_poly_locality(
+          prof.window_lengths, prof.max_distinct_items);
+      const double ub = bounds::iblp_fault_upper(
+          f, g, static_cast<double>(i), static_cast<double>(b),
+          static_cast<double>(B));
+      auto iblp = make_policy("iblp:i=128,b=128", k);
+      auto lru = make_policy("item-lru", k);
+      auto blru = make_policy("block-lru", k);
+      const double r_iblp = simulate(w, *iblp, k).miss_rate();
+      const double r_lru = simulate(w, *lru, k).miss_rate();
+      const double r_blru = simulate(w, *blru, k).miss_rate();
+      const double ratio_fg =
+          prof.max_distinct_items.back() / prof.max_distinct_blocks.back();
+      sink.add_row({"p=" + fmt(p, 0) + ",gamma=" + fmt(gamma, 0),
+                    fmt(fit.p, 2), fmt(ratio_fg, 2), fmt(ub, 4),
+                    fmt(r_iblp, 4), fmt(r_lru, 4), fmt(r_blru, 4),
+                    r_iblp <= ub + 1e-3 ? "yes" : "NO"});
+    }
+  }
+  sink.flush();
+
+  // Theorem 8 adversary: LRU's measured fault rate vs the lower bound.
+  TableSink adv(opts,
+                "Theorem 8 adversary (empirical) — LRU fault rate vs bound",
+                "table2_thm8_adversary",
+                {"k", "gamma", "bound g(L)/L", "measured fault rate",
+                 "measured/bound"});
+  for (std::size_t kk : {24u, 48u}) {
+    for (double gamma : {1.0, 2.0, 4.0}) {
+      const auto f = bounds::make_poly_locality(1.0, 2.0);
+      const auto g = bounds::derive_block_locality(f, gamma);
+      auto lru = make_policy("item-lru", kk);
+      const auto res = traces::run_locality_adversary(*lru, kk, 4, f, g,
+                                                      opts.quick ? 4 : 10);
+      adv.add_row({fmti(kk), fmt(gamma, 0), fmt(res.bound, 5),
+                   fmt(res.fault_rate, 5),
+                   fmt(res.fault_rate / res.bound, 2)});
+    }
+  }
+  adv.flush();
+  std::cout << "Reading: IBLP's measured fault rate respects the Theorem 11\n"
+               "bound computed from the *measured* f, g of each trace; the\n"
+               "Theorem 8 construction drives LRU to within a constant of\n"
+               "its fault-rate lower bound.\n";
+}
+
+}  // namespace
+}  // namespace gcaching::bench
+
+int main(int argc, char** argv) {
+  const auto opts = gcaching::bench::parse_args(argc, argv);
+  gcaching::bench::analytic_table(opts);
+  gcaching::bench::empirical_section(opts);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Scenario: an SRAM cache in front of DRAM rows (the paper's motivating
+// granularity boundary — Section 1, Figure 1).
+//
+// 64 B cache lines, 2 KB DRAM rows => B = 32 lines per row. Once the DRAM
+// row buffer is open, any subset of its lines can be taken into SRAM for
+// (approximately) the cost of the single row activation — exactly the GC
+// caching model. We compare policies across three memory access patterns a
+// DRAM cache actually sees, and sweep the IBLP layer split.
+//
+//   $ ./examples/dram_row_cache
+#include <iostream>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "policies/factory.hpp"
+#include "traces/synthetic.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gcaching;
+
+  const std::size_t lines_per_row = 32;  // 2 KB row / 64 B line
+  const std::size_t cache_lines = 2048;  // 128 KB SRAM of 64 B lines
+  const std::size_t accesses = 400000;
+
+  // Three memory behaviors: streaming (memcpy-like), pointer chasing over a
+  // hot working set (one hot line per row), and a database-ish mixture.
+  std::vector<Workload> workloads;
+  workloads.push_back(
+      traces::sequential_scan(/*num_items=*/1 << 16, lines_per_row, accesses));
+  workloads.push_back(traces::hot_item_per_block(
+      /*num_blocks=*/1024, lines_per_row, accesses, /*hot_blocks=*/1024,
+      /*cold_fraction=*/0.05, /*seed=*/7));
+  workloads.push_back(traces::scan_with_hotset(
+      /*num_blocks=*/2048, lines_per_row, accesses, /*scan_fraction=*/0.25,
+      /*theta=*/0.9, /*span=*/16, /*seed=*/8));
+
+  for (const auto& w : workloads) {
+    std::cout << "== " << w.name << " ==\n";
+    TextTable table({"policy", "miss rate", "spatial hit share",
+                     "DRAM activations (misses)"});
+    for (const std::string spec :
+         {"item-lru", "block-lru", "iblp", "iblp:i=1536,b=512", "gcm"}) {
+      auto policy = make_policy(spec, cache_lines);
+      const SimStats s = simulate(w, *policy, cache_lines);
+      table.add_row({policy->name(), TextTable::fmt(s.miss_rate(), 4),
+                     TextTable::fmt(s.spatial_hit_share(), 3),
+                     TextTable::fmt_int(s.misses)});
+    }
+    std::cout << table << "\n";
+  }
+
+  // IBLP split sweep on an antagonistic interleave: pointer-chasing over
+  // hot lines (one per row — poison for whole-row caching) mixed 1:1 with
+  // streaming (poison for line-granularity caching). Both patterns share
+  // one address space.
+  const Workload hot = traces::hot_item_per_block(
+      /*num_blocks=*/2048, lines_per_row, accesses / 2, /*hot_blocks=*/2048,
+      /*cold_fraction=*/0.0, /*seed=*/9);
+  const Workload stream =
+      traces::sequential_scan(2048 * lines_per_row, lines_per_row,
+                              accesses / 2);
+  Workload duel;
+  duel.map = hot.map;
+  duel.name = "pointer-chase + streaming interleave";
+  for (std::size_t p = 0; p < accesses / 2; ++p) {
+    duel.trace.push(hot.trace[p]);
+    duel.trace.push(stream.trace[p]);
+  }
+
+  std::cout << "== IBLP layer-split sweep (" << duel.name << ") ==\n";
+  TextTable sweep({"item layer i", "block layer b", "miss rate"});
+  for (double frac : {0.0, 0.25, 0.5, 0.75, 0.9375, 1.0}) {
+    const auto i = static_cast<std::size_t>(frac * cache_lines);
+    const std::size_t b = cache_lines - i;
+    if (b > 0 && b < lines_per_row) continue;  // block layer must fit a row
+    const std::string spec =
+        "iblp:i=" + std::to_string(i) + ",b=" + std::to_string(b);
+    auto policy = make_policy(spec, cache_lines);
+    const SimStats s = simulate(duel, *policy, cache_lines);
+    sweep.add_row({TextTable::fmt_int(i), TextTable::fmt_int(b),
+                   TextTable::fmt(s.miss_rate(), 4)});
+  }
+  std::cout << sweep
+            << "\nReading: pure item (b=0) pays a full row activation per "
+               "streamed\nline; pure block (i=0) wastes 31/32 of its "
+               "capacity on the\npointer-chase rows; the mixed splits beat "
+               "both — the IBLP design\nargument, on DRAM-shaped numbers.\n";
+  return 0;
+}

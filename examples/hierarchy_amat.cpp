@@ -1,0 +1,77 @@
+// Scenario: a full memory hierarchy with granularity change at every
+// boundary — the generalization of the paper's Figure 1.
+//
+// Three levels over one 2M-item address space:
+//   L1   (SRAM lines, loads single items)           128 entries,  4 cyc miss
+//   L2   (SRAM over DRAM rows, B = 8 subsets)      2048 entries, 30 cyc miss
+//   LLC  (DRAM cache over flash pages, B = 64)    16384 entries, 300 cyc miss
+// plus memory. We compare what policy the two granularity-change levels run
+// and report AMAT (average access cycles) per configuration.
+//
+//   $ ./examples/hierarchy_amat
+#include <iostream>
+
+#include "hierarchy/hierarchy.hpp"
+#include "traces/compose.hpp"
+#include "traces/synthetic.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gcaching;
+  using hierarchy::HierarchySimulator;
+  using hierarchy::LevelConfig;
+
+  const std::size_t num_items = 1 << 21;
+  const auto maps = hierarchy::nested_uniform_maps(num_items, {1, 8, 64});
+
+  // Workload: index lookups (hot items scattered one per 64-item page —
+  // poison for whole-transfer caching) interleaved 2:1 with table scans
+  // (poison for item-granularity caching) — the database-server mix from
+  // Section 1.
+  Workload lookups = traces::hot_item_per_block(
+      num_items / 64, 64, 200000, /*hot_blocks=*/2048,
+      /*cold_fraction=*/0.02, /*seed=*/3);
+  Workload scan = traces::sequential_scan(num_items, 64, 100000);
+  scan.map = lookups.map;  // share the universe for composition
+  const Workload mix = traces::interleave(lookups, scan, 2, 1);
+
+  struct Config {
+    std::string label;
+    std::string l2_policy;
+    std::string llc_policy;
+  };
+  const std::vector<Config> configs = {
+      {"all item-LRU (granularity-oblivious)", "item-lru", "item-lru"},
+      {"all block-LRU (whole-transfer)", "block-lru", "block-lru"},
+      {"IBLP at both boundaries", "iblp:i=1024,b=1024",
+       "iblp:i=4096,b=12288"},
+      {"footprint at both boundaries", "footprint", "footprint"},
+      {"GCM at both boundaries", "gcm", "gcm"},
+  };
+
+  TextTable table({"configuration", "AMAT (cyc)", "L1 hit%", "L2 hit%",
+                   "LLC hit%", "memory refs"});
+  for (const auto& cfg : configs) {
+    std::vector<LevelConfig> levels(3);
+    levels[0] = {"L1", 128, "item-lru", maps[0], 4.0};
+    levels[1] = {"L2", 2048, cfg.l2_policy, maps[1], 30.0};
+    levels[2] = {"LLC", 16384, cfg.llc_policy, maps[2], 300.0};
+    HierarchySimulator hs(levels, /*probe_cost=*/1.0);
+    hs.run(mix.trace);
+    table.add_row(
+        {cfg.label, TextTable::fmt(hs.amat(), 1),
+         TextTable::fmt(100 * hs.hit_share(0), 1),
+         TextTable::fmt(100 * hs.hit_share(1), 1),
+         TextTable::fmt(100 * hs.hit_share(2), 1),
+         TextTable::fmt_int(hs.level_stats(2).misses)});
+  }
+  std::cout << "workload: " << mix.name << " (" << mix.trace.size()
+            << " accesses)\n\n"
+            << table
+            << "\nReading: exploiting granularity change at the L2 and LLC\n"
+               "boundaries (IBLP / footprint / GCM) cuts AMAT well below\n"
+               "both the granularity-oblivious and the whole-transfer\n"
+               "hierarchies on this mixed workload — the paper's motivating\n"
+               "opportunity, measured end to end.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: the library in ~60 lines.
+//
+// Build a block-structured universe, generate a workload, run a few
+// replacement policies through the verifying simulator, and print the
+// hit taxonomy that makes GC caching different from traditional caching.
+//
+//   $ ./examples/quickstart
+#include <iostream>
+
+#include "core/simulator.hpp"
+#include "policies/factory.hpp"
+#include "traces/synthetic.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gcaching;
+
+  // A universe of 4096 items grouped into blocks of 16 — think 64 B cache
+  // lines inside 1 KB DRAM-row segments. The workload mixes sequential
+  // scans (spatial locality) with a Zipf-popular hot set (temporal
+  // locality).
+  const std::size_t block_size = 16;
+  const std::size_t cache_size = 256;
+  const Workload workload = traces::scan_with_hotset(
+      /*num_blocks=*/256, block_size, /*length=*/200000,
+      /*scan_fraction=*/0.3, /*theta=*/0.9, /*span=*/8, /*seed=*/1);
+
+  std::cout << "workload: " << workload.name << "\n"
+            << "universe: " << workload.map->num_items() << " items in "
+            << workload.map->num_blocks() << " blocks (B = " << block_size
+            << "), cache k = " << cache_size << "\n\n";
+
+  TextTable table({"policy", "miss rate", "temporal hits", "spatial hits",
+                   "loads/miss", "wasted sideloads"});
+  for (const std::string spec :
+       {"item-lru", "block-lru", "iblp", "gcm", "athreshold:a=2",
+        "belady-greedy-gc"}) {
+    // Policies are built by spec string; `iblp` defaults to an even
+    // item/block layer split. The simulator enforces the model rules
+    // (Definition 1) on every access.
+    auto policy = make_policy(spec, cache_size);
+    const SimStats stats = simulate(workload, *policy, cache_size);
+    table.add_row({policy->name(), TextTable::fmt(stats.miss_rate(), 4),
+                   TextTable::fmt_int(stats.temporal_hits),
+                   TextTable::fmt_int(stats.spatial_hits),
+                   TextTable::fmt(stats.loads_per_miss(), 2),
+                   TextTable::fmt_int(stats.wasted_sideloads)});
+  }
+  std::cout << table;
+
+  std::cout << "\nWhat to look for: the Item Cache has zero spatial hits\n"
+               "(it never exploits granularity change); the Block Cache\n"
+               "gets spatial hits but wastes side-loads on the hot set;\n"
+               "IBLP and GCM capture both kinds of locality.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "bounds/competitive.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+#include "util/mathx.hpp"
+
+namespace gcaching::bounds {
+
+double sleator_tarjan_lower(double k, double h) {
+  GC_REQUIRE(h >= 1 && k >= h, "requires 1 <= h <= k");
+  return k / (k - h + 1);
+}
+
+double sleator_tarjan_lru_upper(double k, double h) {
+  return sleator_tarjan_lower(k, h);
+}
+
+double item_cache_lower(double k, double h, double B) {
+  GC_REQUIRE(h >= 1 && k >= h, "requires 1 <= h <= k");
+  GC_REQUIRE(B >= 1 && k >= B, "requires 1 <= B <= k");
+  return B * (k - B + 1) / (k - h + 1);
+}
+
+double block_cache_lower(double k, double h, double B) {
+  GC_REQUIRE(h >= 1 && k >= h, "requires 1 <= h <= k");
+  GC_REQUIRE(B >= 1, "requires B >= 1");
+  const double denom = k - B * (h - 1);
+  if (denom <= 0) return kUnboundedRatio;
+  return k / denom;
+}
+
+double athreshold_lower(double k, double h, double B, double a) {
+  GC_REQUIRE(h >= 1 && k >= h, "requires 1 <= h <= k");
+  GC_REQUIRE(a >= 1 && a <= B, "requires 1 <= a <= B");
+  GC_REQUIRE(h >= a, "Theorem 4 assumes h >= a");
+  return (a * (k - h + 1) + B * (h - a)) / (k - h + 1);
+}
+
+double gc_lower_bound(double k, double h, double B) {
+  // Section 4.4: the minimizing a is an endpoint, 1 or B. When h < B the
+  // a = B endpoint is not admissible (Theorem 4 needs h >= a); use a = h
+  // as the largest admissible value (equivalently an Item Cache against a
+  // comparator smaller than a block).
+  const double a_hi = std::min(B, h);
+  const double lo1 = athreshold_lower(k, h, B, 1.0);
+  const double lo2 = athreshold_lower(k, h, B, a_hi);
+  return std::min(lo1, lo2);
+}
+
+double gc_optimal_a(double k, double h, double B) {
+  // d(ratio)/da = 1 - B/(k-h+1): increasing in a iff k-h+1 > B.
+  const double a_hi = std::min(B, h);
+  return (k - h + 1 > B) ? 1.0 : a_hi;
+}
+
+}  // namespace gcaching::bounds

@@ -1,0 +1,47 @@
+// Competitive-ratio lower bounds (Section 4) and the classical
+// Sleator–Tarjan bounds they extend.
+//
+// Conventions: `k` is the online cache size, `h <= k` the offline (optimal)
+// cache size, `B` the block-size bound. Ratios that the adversary can push
+// to infinity are returned as kUnboundedRatio. All formulas are stated
+// exactly as in the paper; preconditions mirror the theorems' assumptions.
+#pragma once
+
+#include <cstdint>
+
+namespace gcaching::bounds {
+
+/// Sleator–Tarjan [1985] lower bound for any deterministic policy in
+/// *traditional* caching: k / (k - h + 1).
+double sleator_tarjan_lower(double k, double h);
+
+/// Sleator–Tarjan upper bound for LRU (matches the lower bound):
+/// k / (k - h + 1).
+double sleator_tarjan_lru_upper(double k, double h);
+
+/// Theorem 2 — any Item Cache in GC caching:
+/// B (k - B + 1) / (k - h + 1).
+double item_cache_lower(double k, double h, double B);
+
+/// Theorem 3 — any Block Cache in GC caching:
+/// k / (k - B (h - 1)), unbounded when k <= B (h - 1).
+double block_cache_lower(double k, double h, double B);
+
+/// Theorem 4 — any deterministic policy that loads the full block only
+/// after `a` distinct consecutive accesses:
+/// (a (k - h + 1) + B (h - a)) / (k - h + 1).
+/// Requires 1 <= a <= B and h >= a.
+double athreshold_lower(double k, double h, double B, double a);
+
+/// The general GC lower bound: the best a policy can do over its choice of
+/// `a`, which Section 4.4 shows is attained at a = 1 or a = B:
+/// min(Theorem4(a=1), Theorem4(a=B)).
+double gc_lower_bound(double k, double h, double B);
+
+/// The `a` minimizing Theorem 4 for the given geometry (1 or B; ties -> 1).
+/// Section 4.4: a = 1 (load whole blocks immediately) iff k - h + 1 > B,
+/// i.e. when the online cache is much larger than the comparator; otherwise
+/// a = B (behave as an Item Cache).
+double gc_optimal_a(double k, double h, double B);
+
+}  // namespace gcaching::bounds

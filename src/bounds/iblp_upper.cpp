@@ -1,0 +1,97 @@
+#include "bounds/iblp_upper.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/mathx.hpp"
+
+namespace gcaching::bounds {
+
+double iblp_item_layer_upper(double i, double h) {
+  GC_REQUIRE(h >= 1, "requires h >= 1");
+  if (i <= h) return kUnboundedRatio;
+  return i / (i - h);
+}
+
+double iblp_block_layer_upper(double b, double h, double B) {
+  GC_REQUIRE(h >= 1 && B >= 1 && b >= 0, "invalid geometry");
+  const double lp = (b + 2.0 * B * h - B) / (b + B);
+  return std::min(B, lp);
+}
+
+double iblp_upper_region_boundary(double b, double B) {
+  return (2.0 * B * b - b + 2.0 * B * B + B) / (2.0 * B);
+}
+
+double iblp_upper(double i, double b, double h, double B) {
+  GC_REQUIRE(h >= 1 && B >= 1 && b >= 0 && i >= 0, "invalid geometry");
+  if (i <= h) return kUnboundedRatio;
+  if (i <= iblp_upper_region_boundary(b, B)) {
+    const double num = b + B * (2.0 * i - 1.0);
+    return num * num / (8.0 * B * (B + b) * (i - h));
+  }
+  return (2.0 * B * i - B * b + b - B * B - B) / (2.0 * i - 2.0 * h);
+}
+
+namespace {
+
+/// Per-miss optimal-cache usage when loading t items against the block
+/// layer: the j-th item is held 1 + j*(b/B + 1) access-units (Figure 5).
+double usage(double t, double b, double B) {
+  const double step = b / B + 1.0;
+  return t + step * t * (t - 1.0) / 2.0;
+}
+
+/// Best objective value r + s(t-1) of the 2-variable LP for fixed t.
+double best_rs(double t, double i, double b, double h, double B) {
+  const double U = usage(t, b, B);
+  double best = 0.0;
+  auto consider = [&](double r, double s) {
+    if (r < -1e-12 || s < -1e-12) return;
+    r = std::max(r, 0.0);
+    s = std::max(s, 0.0);
+    if (r * i + s * U > h * (1 + 1e-9)) return;
+    if (r + s * t > 1 + 1e-9) return;
+    best = std::max(best, r + s * (t - 1.0));
+  };
+  // Vertices of the feasible polygon.
+  consider(std::min(1.0, h / i), 0.0);                 // s = 0 edge
+  consider(0.0, std::min(h / U, 1.0 / t));             // r = 0 edge
+  const double denom = U - t * i;
+  if (std::fabs(denom) > 1e-12) {
+    const double s = (h - i) / denom;                  // both constraints tight
+    consider(1.0 - s * t, s);
+  }
+  return best;
+}
+
+}  // namespace
+
+double iblp_upper_numeric(double i, double b, double h, double B) {
+  GC_REQUIRE(h >= 1 && B >= 1, "invalid geometry");
+  if (i <= h) return kUnboundedRatio;
+  double best_v = 0.0;
+  const int kGrid = 4096;
+  double best_t = 1.0;
+  for (int g = 0; g <= kGrid; ++g) {
+    const double t =
+        1.0 + (B - 1.0) * static_cast<double>(g) / static_cast<double>(kGrid);
+    const double v = best_rs(t, i, b, h, B);
+    if (v > best_v) {
+      best_v = v;
+      best_t = t;
+    }
+  }
+  // Local refinement around the best grid point (objective is smooth in t).
+  const double span = (B - 1.0) / kGrid;
+  const double lo = std::max(1.0, best_t - 2.0 * span);
+  const double hi = std::min(B, best_t + 2.0 * span);
+  const double refined = golden_min(
+      [&](double t) { return -best_rs(t, i, b, h, B); }, lo, hi, 1e-12, 300);
+  best_v = std::max(best_v, best_rs(refined, i, b, h, B));
+  if (best_v >= 1.0) return kUnboundedRatio;
+  return 1.0 / (1.0 - best_v);
+}
+
+}  // namespace gcaching::bounds

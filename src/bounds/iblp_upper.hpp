@@ -1,0 +1,36 @@
+// IBLP competitive upper bounds (Section 5.2, Theorems 5-7) plus a numeric
+// optimizer that re-solves the paper's linear program directly.
+//
+// Conventions: `i` = item-layer size, `b` = block-layer size, `h` = optimal
+// cache size, `B` = block-size bound. Theorems 5 and 7 require i > h for a
+// bounded ratio (an LRU layer no bigger than the comparator can be made to
+// miss always while the comparator hits); we return kUnboundedRatio at
+// i <= h.
+#pragma once
+
+namespace gcaching::bounds {
+
+/// Theorem 5 — item layer vs adversarial temporal locality: i / (i - h).
+double iblp_item_layer_upper(double i, double h);
+
+/// Theorem 6 — block layer vs adversarial spatial locality:
+/// min(B, (b + 2Bh - B) / (b + B)).
+double iblp_block_layer_upper(double b, double h, double B);
+
+/// Theorem 7 — the combined IBLP bound (piecewise closed form).
+double iblp_upper(double i, double b, double h, double B);
+
+/// The Theorem 7 region boundary: t (items loaded per optimal miss) caps at
+/// B when i exceeds (2Bb - b + 2B^2 + B) / (2B).
+double iblp_upper_region_boundary(double b, double B);
+
+/// Numeric re-solve of the Section 5.2 LP:
+///     maximize 1 / (1 - r - s(t-1))
+///     s.t.     r*i + s*U(t) <= h,   r + s*t <= 1,   r,s >= 0,  1 <= t <= B
+/// with per-miss cache usage U(t) = sum_{j=0}^{t-1} (1 + j*(b/B + 1))
+/// (the Figure 5 triangle pattern). For fixed t the problem is a 2-variable
+/// LP solved exactly at its vertices; t is then optimized by fine grid +
+/// local refinement. Used in tests to validate the closed form.
+double iblp_upper_numeric(double i, double b, double h, double B);
+
+}  // namespace gcaching::bounds

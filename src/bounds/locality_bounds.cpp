@@ -1,0 +1,59 @@
+#include "bounds/locality_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace gcaching::bounds {
+
+LocalityFunction make_poly_locality(double c, double p) {
+  GC_REQUIRE(c > 0 && p >= 1, "poly locality needs c > 0, p >= 1");
+  LocalityFunction fn;
+  fn.value = [c, p](double n) { return c * std::pow(n, 1.0 / p); };
+  fn.inverse = [c, p](double m) { return std::pow(m / c, p); };
+  return fn;
+}
+
+LocalityFunction derive_block_locality(const LocalityFunction& f,
+                                       double gamma) {
+  GC_REQUIRE(gamma >= 1, "spatial-locality ratio gamma must be >= 1");
+  LocalityFunction g;
+  const auto fv = f.value;
+  const auto fi = f.inverse;
+  g.value = [fv, gamma](double n) { return fv(n) / gamma; };
+  g.inverse = [fi, gamma](double m) { return fi(m * gamma); };
+  return g;
+}
+
+double fault_rate_lower(const LocalityFunction& f, const LocalityFunction& g,
+                        double k) {
+  GC_REQUIRE(k >= 1, "cache size must be positive");
+  const double window = f.inverse(k + 1.0) - 2.0;
+  GC_REQUIRE(window > 0, "degenerate window: f^{-1}(k+1) must exceed 2");
+  return g.value(window) / window;
+}
+
+double iblp_item_fault_upper(const LocalityFunction& f, double i) {
+  GC_REQUIRE(i > 1, "item layer must hold at least two items");
+  const double window = f.inverse(i + 1.0) - 2.0;
+  GC_REQUIRE(window > 0, "degenerate window: f^{-1}(i+1) must exceed 2");
+  return std::min(1.0, (i - 1.0) / window);
+}
+
+double iblp_block_fault_upper(const LocalityFunction& g, double b, double B) {
+  GC_REQUIRE(B >= 1, "block size must be positive");
+  GC_REQUIRE(b > B, "block layer must hold at least two blocks");
+  const double eff = b / B;  // effective size in blocks
+  const double window = g.inverse(eff + 1.0) - 2.0;
+  GC_REQUIRE(window > 0, "degenerate window: g^{-1}(b/B+1) must exceed 2");
+  return std::min(1.0, (eff - 1.0) / window);
+}
+
+double iblp_fault_upper(const LocalityFunction& f, const LocalityFunction& g,
+                        double i, double b, double B) {
+  return std::min(iblp_item_fault_upper(f, i),
+                  iblp_block_fault_upper(g, b, B));
+}
+
+}  // namespace gcaching::bounds

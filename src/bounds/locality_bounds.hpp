@@ -1,0 +1,54 @@
+// Fault-rate bounds in the extended locality-of-reference model
+// (Section 7, Theorems 8-11; model of Albers, Favrholdt, Giel extended with
+// the block working-set function g).
+//
+// f(n): max distinct *items* in any window of n consecutive accesses.
+// g(n): max distinct *blocks* in any window of n consecutive accesses.
+// Both are increasing and concave for real traces; f/B <= g <= f.
+//
+// NOTE on Theorem 10: the paper's statement prints f^{-1}(b/B + 1), but its
+// proof substitutes "the number of blocks in a window, g(n), as the items
+// per window function", and Table 2's entries only follow when the inverse
+// of g is used. We implement g^{-1} (and verify against Table 2 in tests);
+// see DESIGN.md "Known paper typos handled".
+#pragma once
+
+#include <functional>
+
+namespace gcaching::bounds {
+
+/// A concave locality function and its inverse. `value(n)` maps a window
+/// length to a working-set bound; `inverse(m)` maps a working-set size back
+/// to the smallest window length reaching it.
+struct LocalityFunction {
+  std::function<double(double)> value;
+  std::function<double(double)> inverse;
+};
+
+/// The polynomial family used throughout Section 7.3:
+/// f(n) = c * n^(1/p)  with inverse  f^{-1}(m) = (m / c)^p.
+LocalityFunction make_poly_locality(double c, double p);
+
+/// g derived from f by a constant spatial-locality ratio gamma in [1, B]:
+/// g(n) = f(n) / gamma.
+LocalityFunction derive_block_locality(const LocalityFunction& f,
+                                       double gamma);
+
+/// Theorem 8 — fault-rate lower bound for any deterministic policy with
+/// cache size k:   g(f^{-1}(k+1) - 2) / (f^{-1}(k+1) - 2).
+double fault_rate_lower(const LocalityFunction& f, const LocalityFunction& g,
+                        double k);
+
+/// Theorem 9 — item layer (size i) fault-rate upper bound:
+/// (i - 1) / (f^{-1}(i+1) - 2).
+double iblp_item_fault_upper(const LocalityFunction& f, double i);
+
+/// Theorem 10 — block layer (size b, block size B) fault-rate upper bound:
+/// (b/B - 1) / (g^{-1}(b/B + 1) - 2).
+double iblp_block_fault_upper(const LocalityFunction& g, double b, double B);
+
+/// Theorem 11 — IBLP fault-rate upper bound: min of Theorems 9 and 10.
+double iblp_fault_upper(const LocalityFunction& f, const LocalityFunction& g,
+                        double i, double b, double B);
+
+}  // namespace gcaching::bounds

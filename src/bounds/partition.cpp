@@ -1,0 +1,66 @@
+#include "bounds/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bounds/iblp_upper.hpp"
+#include "util/contracts.hpp"
+#include "util/mathx.hpp"
+
+namespace gcaching::bounds {
+
+double item_cache_transition(double h, double B) {
+  if (B <= 1.0) return kUnboundedRatio;  // always in the item-cache regime
+  return (3.0 * B * h - h - B * B - B) / (B - 1.0);
+}
+
+PartitionChoice iblp_optimal_partition(double k, double h, double B) {
+  GC_REQUIRE(k > h && h >= 1 && B >= 1, "requires k > h >= 1, B >= 1");
+  PartitionChoice out;
+  if (B <= 1.0 || k < item_cache_transition(h, B)) {
+    // Small online caches (relative to h): pure Item Cache is optimal.
+    out.item_layer = k;
+    out.block_layer = 0;
+    out.ratio = B <= 1.0 ? k / (k - h)  // traditional LRU bound (Theorem 5)
+                         : (2.0 * B * k - B * B - B) / (2.0 * (k - h));
+    return out;
+  }
+  out.ratio = (k + B - 1.0) * (k - h + B * (2.0 * h - 1.0)) /
+              ((k - h + B) * (k - h + B));
+  out.item_layer =
+      (k * k + 4.0 * B * h * k - h * k + 4.0 * B * B * h - 3.0 * B * h -
+       B * B) /
+      (2.0 * B * k + k + 2.0 * B * h - h + 2.0 * B * B - 3.0 * B);
+  out.block_layer = k - out.item_layer;
+  return out;
+}
+
+PartitionChoice iblp_optimal_partition_numeric(double k, double h, double B) {
+  GC_REQUIRE(k > h && h >= 1 && B >= 1, "requires k > h >= 1, B >= 1");
+  const double lo = std::nextafter(h, k);
+  const double best_i = golden_min(
+      [&](double i) { return iblp_upper(i, k - i, h, B); }, lo, k, 1e-10, 400);
+  PartitionChoice out;
+  // The optimum may sit at the i = k boundary (item-cache regime); golden
+  // search converges into the interior, so compare against the boundary.
+  const double interior = iblp_upper(best_i, k - best_i, h, B);
+  const double boundary = iblp_upper(k, 0.0, h, B);
+  if (boundary <= interior) {
+    out.item_layer = k;
+    out.block_layer = 0;
+    out.ratio = boundary;
+  } else {
+    out.item_layer = best_i;
+    out.block_layer = k - best_i;
+    out.ratio = interior;
+  }
+  return out;
+}
+
+double iblp_upper_large_cache_approx(double k, double h, double B) {
+  GC_REQUIRE(k > h && h >= 1, "requires k > h >= 1");
+  if (k >= 3.0 * h) return k * (k + 2.0 * B * h) / ((k - h) * (k - h));
+  return B * k / (k - h);
+}
+
+}  // namespace gcaching::bounds

@@ -1,0 +1,38 @@
+// Choosing IBLP's layer split (Section 5.3).
+//
+// The Theorem 7 bound depends on the layer sizes (i, b) and on the
+// comparator size h; Section 5.3 derives the closed-form optimum when h is
+// known, including the transition point below which IBLP should degenerate
+// to a pure Item Cache (i = k, b = 0). For the unknown-h analysis
+// (Figure 6), `iblp_upper` can simply be evaluated at fixed splits.
+#pragma once
+
+#include <cstddef>
+
+namespace gcaching::bounds {
+
+struct PartitionChoice {
+  double item_layer = 0;   ///< optimal i
+  double block_layer = 0;  ///< optimal b = k - i
+  double ratio = 0;        ///< Theorem 7 bound at that split
+};
+
+/// The k threshold below which i = k (pure Item Cache) is optimal:
+/// k < (3Bh - h - B^2 - B) / (B - 1). For B = 1 the GC problem collapses to
+/// traditional caching and i = k always.
+double item_cache_transition(double h, double B);
+
+/// Section 5.3 closed-form optimal split and its competitive ratio for a
+/// known comparator size h. Requires k > h.
+PartitionChoice iblp_optimal_partition(double k, double h, double B);
+
+/// Numeric optimum: minimize Theorem 7 over i in [h+eps, k] with b = k - i
+/// by golden-section search (the bound is unimodal in i). Used in tests to
+/// validate the closed form; also the fallback for exotic geometries.
+PartitionChoice iblp_optimal_partition_numeric(double k, double h, double B);
+
+/// Section 5.3's large-cache simplifications (k > h >> B >> 1):
+/// k (k + 2Bh) / (k - h)^2 when k >= 3h, and Bk / (k - h) when k < 3h.
+double iblp_upper_large_cache_approx(double k, double h, double B);
+
+}  // namespace gcaching::bounds

@@ -1,0 +1,38 @@
+#include "bounds/randomized.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace gcaching::bounds {
+
+double harmonic(double n) {
+  GC_REQUIRE(n >= 0, "harmonic number needs n >= 0");
+  if (n < 1) return 0.0;
+  // Exact sum below a threshold; Euler-Maclaurin beyond it.
+  if (n <= 1e6) {
+    double h = 0.0;
+    for (double j = 1; j <= n; ++j) h += 1.0 / j;
+    return h;
+  }
+  constexpr double kEulerMascheroni = 0.5772156649015328606;
+  return std::log(n) + kEulerMascheroni + 1.0 / (2.0 * n) -
+         1.0 / (12.0 * n * n);
+}
+
+double randomized_paging_lower(double k) {
+  GC_REQUIRE(k >= 1, "cache size must be positive");
+  return harmonic(k);
+}
+
+double randomized_marking_upper(double k) {
+  GC_REQUIRE(k >= 1, "cache size must be positive");
+  return 2.0 * harmonic(k);
+}
+
+double oblivious_marking_gc_lower(double B) {
+  GC_REQUIRE(B >= 1, "block size must be positive");
+  return B;
+}
+
+}  // namespace gcaching::bounds

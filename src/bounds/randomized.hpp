@@ -1,0 +1,28 @@
+// Classical randomized-paging bounds, for Section 6 context.
+//
+// Fiat et al. [1991] (cited in Section 1): in traditional caching, the
+// randomized marking algorithm is 2 H_k-competitive and every randomized
+// policy is at least H_k-competitive against an oblivious adversary, where
+// H_k is the k-th harmonic number. Section 6 builds GCM on top of marking;
+// these baselines put its measured ratios in context (and show that
+// randomization's logarithmic advantage in traditional caching does not
+// erase the Theta(B) granularity penalty — Section 6.1's >= B example).
+#pragma once
+
+namespace gcaching::bounds {
+
+/// H_n = 1 + 1/2 + ... + 1/n (H_0 = 0).
+double harmonic(double n);
+
+/// Fiat et al. lower bound for randomized policies, equal cache sizes: H_k.
+double randomized_paging_lower(double k);
+
+/// Marking's upper bound in traditional caching: 2 H_k.
+double randomized_marking_upper(double k);
+
+/// Section 6.1: any marking algorithm that ignores granularity change has
+/// competitive ratio at least B (whole-block scans), independent of k and
+/// of the randomization — returned as-is for table symmetry.
+double oblivious_marking_gc_lower(double B);
+
+}  // namespace gcaching::bounds

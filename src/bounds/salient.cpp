@@ -1,0 +1,54 @@
+#include "bounds/salient.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/mathx.hpp"
+
+namespace gcaching::bounds {
+
+SalientPoint find_ratio_equals_augmentation(const RatioOfK& ratio, double h,
+                                            double k_max) {
+  GC_REQUIRE(h >= 1 && k_max > h, "requires k_max > h >= 1");
+  // ratio(k) decreases and k/h increases, so ratio(k) - k/h crosses zero
+  // exactly once; bisect over integer k.
+  const auto lo0 = static_cast<std::uint64_t>(std::ceil(h)) + 1;
+  const auto hi0 = static_cast<std::uint64_t>(std::floor(k_max));
+  const std::uint64_t k = bisect_first_true(
+      lo0, hi0, [&](std::uint64_t kk) {
+        const double kd = static_cast<double>(kk);
+        return ratio(kd) <= kd / h;
+      });
+  GC_REQUIRE(k <= hi0, "no crossing within [h+1, k_max]");
+  SalientPoint out;
+  out.k = static_cast<double>(k);
+  out.augmentation = out.k / h;
+  out.ratio = ratio(out.k);
+  return out;
+}
+
+SalientPoint find_constant_ratio(const RatioOfK& ratio, double h,
+                                 double target, double k_max) {
+  GC_REQUIRE(h >= 1 && k_max > h, "requires k_max > h >= 1");
+  const auto lo0 = static_cast<std::uint64_t>(std::ceil(h)) + 1;
+  const auto hi0 = static_cast<std::uint64_t>(std::floor(k_max));
+  const std::uint64_t k = bisect_first_true(
+      lo0, hi0,
+      [&](std::uint64_t kk) { return ratio(static_cast<double>(kk)) <= target; });
+  GC_REQUIRE(k <= hi0, "target ratio not reached within [h+1, k_max]");
+  SalientPoint out;
+  out.k = static_cast<double>(k);
+  out.augmentation = out.k / h;
+  out.ratio = ratio(out.k);
+  return out;
+}
+
+SalientPoint at_augmentation(const RatioOfK& ratio, double h, double factor) {
+  SalientPoint out;
+  out.k = factor * h;
+  out.augmentation = factor;
+  out.ratio = ratio(out.k);
+  return out;
+}
+
+}  // namespace gcaching::bounds

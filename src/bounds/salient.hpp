@@ -1,0 +1,38 @@
+// Salient-point solvers for Table 1.
+//
+// Table 1 characterizes each bound family by three operating points:
+//   * constant augmentation — the ratio at k = 2h;
+//   * ratio = augmentation — the k at which ratio(k) equals k/h;
+//   * constant ratio — the k at which the ratio drops to a small constant
+//     (2 for Sleator-Tarjan and the GC lower bound, 3 for the GC upper
+//     bound, per Sections 4.4/5.3).
+// The solvers work on any monotone-decreasing ratio(k) function, found by
+// bisection over integer k in (h, k_max].
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace gcaching::bounds {
+
+/// ratio(k) for fixed h: must be (weakly) decreasing in k past k = h.
+using RatioOfK = std::function<double(double)>;
+
+struct SalientPoint {
+  double k = 0;             ///< online size at the operating point
+  double augmentation = 0;  ///< k / h
+  double ratio = 0;         ///< bound value at k
+};
+
+/// The point where ratio(k) == k/h (within integer-k resolution).
+SalientPoint find_ratio_equals_augmentation(const RatioOfK& ratio, double h,
+                                            double k_max);
+
+/// The smallest integer k with ratio(k) <= target.
+SalientPoint find_constant_ratio(const RatioOfK& ratio, double h,
+                                 double target, double k_max);
+
+/// Convenience: evaluate at a fixed augmentation factor (e.g. k = 2h).
+SalientPoint at_augmentation(const RatioOfK& ratio, double h, double factor);
+
+}  // namespace gcaching::bounds

@@ -1,0 +1,79 @@
+#include "core/block_map.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contracts.hpp"
+#include "util/mathx.hpp"
+
+namespace gcaching {
+
+UniformBlockMap::UniformBlockMap(std::size_t num_items, std::size_t block_size)
+    : num_items_(num_items),
+      block_size_(block_size),
+      num_blocks_(ceil_div(num_items, block_size)) {
+  GC_REQUIRE(num_items > 0, "universe must be non-empty");
+  GC_REQUIRE(block_size > 0, "block size must be positive");
+  all_items_.resize(num_items);
+  std::iota(all_items_.begin(), all_items_.end(), ItemId{0});
+}
+
+BlockId UniformBlockMap::block_of(ItemId item) const {
+  GC_REQUIRE(item < num_items_, "item id out of range");
+  return static_cast<BlockId>(item / block_size_);
+}
+
+std::span<const ItemId> UniformBlockMap::items_of(BlockId block) const {
+  GC_REQUIRE(block < num_blocks_, "block id out of range");
+  const std::size_t first = static_cast<std::size_t>(block) * block_size_;
+  const std::size_t last = std::min(first + block_size_, num_items_);
+  return std::span<const ItemId>(all_items_.data() + first, last - first);
+}
+
+ExplicitBlockMap::ExplicitBlockMap(std::vector<std::vector<ItemId>> blocks)
+    : blocks_(std::move(blocks)) {
+  GC_REQUIRE(!blocks_.empty(), "partition must contain at least one block");
+  std::size_t total = 0;
+  for (auto& b : blocks_) {
+    GC_REQUIRE(!b.empty(), "blocks must be non-empty");
+    std::sort(b.begin(), b.end());
+    GC_REQUIRE(std::adjacent_find(b.begin(), b.end()) == b.end(),
+               "duplicate item within a block");
+    total += b.size();
+    max_block_size_ = std::max(max_block_size_, b.size());
+  }
+  item_to_block_.assign(total, kInvalidBlock);
+  for (BlockId j = 0; j < blocks_.size(); ++j) {
+    for (ItemId it : blocks_[j]) {
+      GC_REQUIRE(it < total, "item ids must be dense 0..n-1");
+      GC_REQUIRE(item_to_block_[it] == kInvalidBlock,
+                 "item appears in two blocks — not a partition");
+      item_to_block_[it] = j;
+    }
+  }
+  // Density: every id 0..n-1 covered (any gap would leave kInvalidBlock).
+  GC_CHECK(std::find(item_to_block_.begin(), item_to_block_.end(),
+                     kInvalidBlock) == item_to_block_.end(),
+           "item universe must be dense");
+}
+
+BlockId ExplicitBlockMap::block_of(ItemId item) const {
+  GC_REQUIRE(item < item_to_block_.size(), "item id out of range");
+  return item_to_block_[item];
+}
+
+std::span<const ItemId> ExplicitBlockMap::items_of(BlockId block) const {
+  GC_REQUIRE(block < blocks_.size(), "block id out of range");
+  return std::span<const ItemId>(blocks_[block].data(), blocks_[block].size());
+}
+
+std::shared_ptr<BlockMap> make_singleton_blocks(std::size_t num_items) {
+  return std::make_shared<UniformBlockMap>(num_items, 1);
+}
+
+std::shared_ptr<BlockMap> make_uniform_blocks(std::size_t num_items,
+                                              std::size_t block_size) {
+  return std::make_shared<UniformBlockMap>(num_items, block_size);
+}
+
+}  // namespace gcaching

@@ -1,0 +1,95 @@
+// Item-to-block partitions.
+//
+// A `BlockMap` is the static structure (iii) of Definition 1: a partition of
+// the item universe into disjoint blocks of at most `max_block_size()` items.
+// Two implementations:
+//   * `UniformBlockMap`  — items [jB, (j+1)B) form block j; the common case
+//     for address-space granularity boundaries (cache lines in a DRAM row).
+//   * `ExplicitBlockMap` — arbitrary partition, needed by the NP-completeness
+//     reduction (active sets of varying size) and by irregular workloads.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace gcaching {
+
+/// Immutable partition of items into blocks. Thread-safe for concurrent
+/// reads after construction.
+class BlockMap {
+ public:
+  virtual ~BlockMap() = default;
+
+  /// Number of items in the universe (ids are dense 0..num_items()-1).
+  virtual std::size_t num_items() const noexcept = 0;
+
+  /// Number of blocks (ids are dense 0..num_blocks()-1).
+  virtual std::size_t num_blocks() const noexcept = 0;
+
+  /// The block containing `item`. Precondition: item < num_items().
+  virtual BlockId block_of(ItemId item) const = 0;
+
+  /// The items of `block`, in ascending id order.
+  /// Precondition: block < num_blocks().
+  virtual std::span<const ItemId> items_of(BlockId block) const = 0;
+
+  /// The model parameter B: an upper bound on every block's size.
+  virtual std::size_t max_block_size() const noexcept = 0;
+
+  /// Size of a specific block (<= max_block_size()).
+  std::size_t block_size(BlockId block) const { return items_of(block).size(); }
+};
+
+/// Block j contains items [j*B, min((j+1)*B, n)). O(1) lookups, O(n) memory
+/// only for the flattened item list (shared across blocks).
+class UniformBlockMap final : public BlockMap {
+ public:
+  /// Partition `num_items` items into blocks of `block_size`; the last block
+  /// may be smaller when block_size does not divide num_items.
+  UniformBlockMap(std::size_t num_items, std::size_t block_size);
+
+  std::size_t num_items() const noexcept override { return num_items_; }
+  std::size_t num_blocks() const noexcept override { return num_blocks_; }
+  BlockId block_of(ItemId item) const override;
+  std::span<const ItemId> items_of(BlockId block) const override;
+  std::size_t max_block_size() const noexcept override { return block_size_; }
+
+ private:
+  std::size_t num_items_;
+  std::size_t block_size_;
+  std::size_t num_blocks_;
+  std::vector<ItemId> all_items_;  // 0..n-1 flattened, spans index into it
+};
+
+/// Arbitrary partition given as an explicit list of blocks.
+class ExplicitBlockMap final : public BlockMap {
+ public:
+  /// `blocks[j]` lists the items of block j. The blocks must be non-empty,
+  /// disjoint, and together cover a dense universe 0..n-1 (validated).
+  explicit ExplicitBlockMap(std::vector<std::vector<ItemId>> blocks);
+
+  std::size_t num_items() const noexcept override { return item_to_block_.size(); }
+  std::size_t num_blocks() const noexcept override { return blocks_.size(); }
+  BlockId block_of(ItemId item) const override;
+  std::span<const ItemId> items_of(BlockId block) const override;
+  std::size_t max_block_size() const noexcept override { return max_block_size_; }
+
+ private:
+  std::vector<std::vector<ItemId>> blocks_;
+  std::vector<BlockId> item_to_block_;
+  std::size_t max_block_size_ = 0;
+};
+
+/// Convenience: a partition where every item is its own block — under which
+/// GC caching is exactly the traditional caching model (Section 2).
+std::shared_ptr<BlockMap> make_singleton_blocks(std::size_t num_items);
+
+/// Convenience: shared uniform map.
+std::shared_ptr<BlockMap> make_uniform_blocks(std::size_t num_items,
+                                              std::size_t block_size);
+
+}  // namespace gcaching

@@ -1,0 +1,116 @@
+// Ground-truth cache state with model-invariant enforcement.
+//
+// `CacheContents` is owned by the simulator, not by policies. Policies
+// mutate it only through `load` / `evict` inside a miss transaction opened
+// by the simulator, and the class *enforces* Definition 1:
+//   * loads are only legal during a miss, and only for items of the
+//     currently-missed block (the "any subset of that item's block" rule);
+//   * occupancy never exceeds capacity (evict before load);
+//   * the requested item must be resident when the transaction closes.
+//
+// It also performs the paper's hit taxonomy (Section 2, "Locality vs.
+// traditional caching models"): a hit on an item that was side-loaded by a
+// different item's miss and has not been touched since is a *spatial* hit;
+// every other hit is *temporal*.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/block_map.hpp"
+#include "core/types.hpp"
+
+namespace gcaching {
+
+enum class HitKind : std::uint8_t { kTemporal, kSpatial };
+
+class CacheContents {
+ public:
+  CacheContents(const BlockMap& map, std::size_t capacity);
+
+  // ---- Read-only inspection (also the adversaries' view) -----------------
+  bool contains(ItemId item) const;
+  std::size_t occupancy() const noexcept { return occupancy_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool full() const noexcept { return occupancy_ == capacity_; }
+  const BlockMap& map() const noexcept { return map_; }
+
+  /// True while a miss transaction is open.
+  bool in_miss() const noexcept { return current_block_ != kInvalidBlock; }
+
+  /// The block whose miss is being served (only valid during a miss).
+  BlockId missed_block() const;
+
+  /// Logical time (accesses processed so far), advanced by the simulator.
+  AccessTime now() const noexcept { return now_; }
+
+  /// Calls fn(item) for every resident item, ascending id. O(num_items).
+  void for_each_resident(const std::function<void(ItemId)>& fn) const;
+
+  /// Snapshot of resident items, ascending. O(num_items); for tests/benches.
+  std::vector<ItemId> resident_items() const;
+
+  /// Number of residents of `block`. O(block size).
+  std::size_t residents_of_block(BlockId block) const;
+
+  // ---- Mutation API (simulator + policies) --------------------------------
+  /// Simulator: advance logical time; classify & record a hit on a resident
+  /// item. Returns the hit kind per the paper's taxonomy.
+  HitKind record_hit(ItemId item);
+
+  /// Simulator: open a miss transaction for non-resident `requested`.
+  void begin_miss(ItemId requested);
+
+  /// Policy: load `item` during a miss. `item` must belong to the missed
+  /// block, be non-resident, and the cache must not be full.
+  void load(ItemId item);
+
+  /// Policy: evict resident `item`. Legal at any point — Definition 1 only
+  /// constrains *loads*; a policy may reorganize on hits (e.g. IBLP evicts
+  /// an item-layer victim when promoting a block-layer hit).
+  void evict(ItemId item);
+
+  /// Simulator: close the transaction; the requested item must be resident.
+  void end_miss();
+
+  /// Drop everything and reset counters to the post-construction state.
+  void reset();
+
+  // ---- Lifetime counters ---------------------------------------------------
+  /// Items brought into the cache, including requested ones.
+  std::uint64_t items_loaded() const noexcept { return items_loaded_; }
+  /// Items loaded as a side effect of a different item's miss.
+  std::uint64_t sideloads() const noexcept { return sideloads_; }
+  /// Evictions performed.
+  std::uint64_t evictions() const noexcept { return evictions_; }
+  /// Side-loaded items evicted without ever being accessed — pure pollution.
+  std::uint64_t wasted_sideloads() const noexcept { return wasted_sideloads_; }
+  /// Timestamp (access index) at which `item` was last loaded. Only
+  /// meaningful while the item is resident.
+  AccessTime load_time(ItemId item) const;
+
+ private:
+  struct Entry {
+    bool present = false;
+    bool requested_load = false;  ///< loaded because it was itself requested
+    bool touched = false;         ///< accessed since (or at) its load
+    AccessTime loaded_at = 0;
+  };
+
+  const BlockMap& map_;
+  std::size_t capacity_;
+  std::size_t occupancy_ = 0;
+  std::vector<Entry> entries_;
+  BlockId current_block_ = kInvalidBlock;
+  ItemId current_request_ = kInvalidItem;
+  AccessTime now_ = 0;
+
+  std::uint64_t items_loaded_ = 0;
+  std::uint64_t sideloads_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t wasted_sideloads_ = 0;
+};
+
+}  // namespace gcaching

@@ -1,0 +1,54 @@
+// The verifying simulator.
+//
+// `Simulation` drives a policy one access at a time (the step-wise form is
+// what adaptive adversaries need: they choose the next request by inspecting
+// the live cache). `simulate()` runs a whole workload. Either way, all model
+// invariants are enforced by `CacheContents`; a policy that cheats throws.
+#pragma once
+
+#include <cstddef>
+
+#include "core/block_map.hpp"
+#include "core/cache_contents.hpp"
+#include "core/policy.hpp"
+#include "core/stats.hpp"
+#include "core/trace.hpp"
+
+namespace gcaching {
+
+class Simulation {
+ public:
+  /// Binds `policy` to a fresh cache of `capacity` items over `map`.
+  /// Both `map` and `policy` must outlive the Simulation.
+  Simulation(const BlockMap& map, ReplacementPolicy& policy,
+             std::size_t capacity);
+
+  /// Process one request. Hit/miss classification, policy callbacks, and
+  /// stat updates happen here.
+  void access(ItemId item);
+
+  /// Process every request of a trace in order.
+  void run(const Trace& trace);
+
+  const CacheContents& cache() const noexcept { return cache_; }
+  const SimStats& stats() const noexcept { return stats_; }
+  ReplacementPolicy& policy() noexcept { return policy_; }
+
+ private:
+  const BlockMap& map_;
+  ReplacementPolicy& policy_;
+  CacheContents cache_;
+  SimStats stats_;
+};
+
+/// One-shot convenience: simulate `trace` through `policy` with a cache of
+/// `capacity`. Calls `policy.prepare(trace)` first (offline policies), then
+/// `policy.reset()` is NOT called — pass a fresh policy per run.
+SimStats simulate(const BlockMap& map, const Trace& trace,
+                  ReplacementPolicy& policy, std::size_t capacity);
+
+/// Workload-flavored overload.
+SimStats simulate(const Workload& workload, ReplacementPolicy& policy,
+                  std::size_t capacity);
+
+}  // namespace gcaching

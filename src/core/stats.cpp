@@ -1,0 +1,18 @@
+#include "core/stats.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace gcaching {
+
+std::string SimStats::summary() const {
+  std::ostringstream os;
+  os << "accesses=" << accesses << " misses=" << misses << " (rate "
+     << std::fixed << std::setprecision(4) << miss_rate() << ") hits=" << hits
+     << " [temporal=" << temporal_hits << " spatial=" << spatial_hits
+     << "] loaded=" << items_loaded << " sideloads=" << sideloads
+     << " evictions=" << evictions << " wasted=" << wasted_sideloads;
+  return os.str();
+}
+
+}  // namespace gcaching

@@ -1,0 +1,65 @@
+// Simulation statistics.
+//
+// The model's cost objective is the number of misses (each miss = one unit
+// block-load cost, regardless of how many items of the block are taken).
+// We additionally split hits into temporal vs spatial (Section 2) and track
+// load/eviction traffic, including pure pollution (side-loaded items evicted
+// untouched) — the effect that makes Block Caches fragile (Section 4.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gcaching {
+
+struct SimStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;  ///< == cost in the unit-block-cost model
+  std::uint64_t temporal_hits = 0;
+  std::uint64_t spatial_hits = 0;
+  std::uint64_t items_loaded = 0;
+  std::uint64_t sideloads = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t wasted_sideloads = 0;
+
+  double miss_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(accesses);
+  }
+  double hit_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(accesses);
+  }
+  /// Fraction of hits attributable to spatial locality.
+  double spatial_hit_share() const {
+    return hits == 0 ? 0.0
+                     : static_cast<double>(spatial_hits) /
+                           static_cast<double>(hits);
+  }
+  /// Average items loaded per miss (1 for an Item Cache, up to B).
+  double loads_per_miss() const {
+    return misses == 0 ? 0.0
+                       : static_cast<double>(items_loaded) /
+                             static_cast<double>(misses);
+  }
+
+  SimStats& operator+=(const SimStats& o) {
+    accesses += o.accesses;
+    hits += o.hits;
+    misses += o.misses;
+    temporal_hits += o.temporal_hits;
+    spatial_hits += o.spatial_hits;
+    items_loaded += o.items_loaded;
+    sideloads += o.sideloads;
+    evictions += o.evictions;
+    wasted_sideloads += o.wasted_sideloads;
+    return *this;
+  }
+
+  std::string summary() const;
+};
+
+}  // namespace gcaching

@@ -1,0 +1,38 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/contracts.hpp"
+
+namespace gcaching {
+
+void Trace::append(const Trace& other) {
+  accesses_.insert(accesses_.end(), other.accesses_.begin(),
+                   other.accesses_.end());
+}
+
+std::size_t Trace::distinct_items() const {
+  std::unordered_set<ItemId> seen(accesses_.begin(), accesses_.end());
+  return seen.size();
+}
+
+ItemId Trace::max_item() const {
+  if (accesses_.empty()) return kInvalidItem;
+  return *std::max_element(accesses_.begin(), accesses_.end());
+}
+
+std::size_t Workload::distinct_blocks() const {
+  GC_REQUIRE(map != nullptr, "workload has no block map");
+  std::unordered_set<BlockId> seen;
+  for (ItemId it : trace) seen.insert(map->block_of(it));
+  return seen.size();
+}
+
+void Workload::validate() const {
+  GC_REQUIRE(map != nullptr, "workload has no block map");
+  for (ItemId it : trace)
+    GC_REQUIRE(it < map->num_items(), "trace references item outside the map");
+}
+
+}  // namespace gcaching

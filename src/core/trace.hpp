@@ -1,0 +1,62 @@
+// Access traces and workloads.
+//
+// A `Trace` is the request sequence sigma of Definition 1: an ordered list
+// of item ids. A `Workload` bundles a trace with the block partition it was
+// generated against, which is what simulators and analyzers consume.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/block_map.hpp"
+#include "core/types.hpp"
+
+namespace gcaching {
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<ItemId> accesses)
+      : accesses_(std::move(accesses)) {}
+
+  void push(ItemId item) { accesses_.push_back(item); }
+  void append(const Trace& other);
+  void reserve(std::size_t n) { accesses_.reserve(n); }
+  void clear() { accesses_.clear(); }
+
+  std::size_t size() const noexcept { return accesses_.size(); }
+  bool empty() const noexcept { return accesses_.empty(); }
+  ItemId operator[](std::size_t i) const { return accesses_[i]; }
+
+  auto begin() const noexcept { return accesses_.begin(); }
+  auto end() const noexcept { return accesses_.end(); }
+
+  const std::vector<ItemId>& accesses() const noexcept { return accesses_; }
+
+  /// Number of distinct items referenced anywhere in the trace.
+  std::size_t distinct_items() const;
+
+  /// Largest item id referenced, or kInvalidItem for an empty trace.
+  ItemId max_item() const;
+
+ private:
+  std::vector<ItemId> accesses_;
+};
+
+/// A trace plus the partition it is defined over. The map is shared because
+/// many traces (e.g. a parameter sweep) reference one partition.
+struct Workload {
+  std::shared_ptr<const BlockMap> map;
+  Trace trace;
+  std::string name;  ///< human-readable provenance, e.g. "zipf(theta=0.9)"
+
+  /// Number of distinct blocks referenced by the trace.
+  std::size_t distinct_blocks() const;
+
+  /// Validates that every access refers to an item inside the map.
+  void validate() const;
+};
+
+}  // namespace gcaching

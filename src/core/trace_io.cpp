@@ -1,0 +1,134 @@
+#include "core/trace_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace gcaching {
+
+namespace {
+
+[[noreturn]] void parse_fail(const std::string& detail) {
+  throw std::runtime_error("gcworkload parse error: " + detail);
+}
+
+/// Reads the next non-comment, non-empty line.
+bool next_content_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void save_workload(std::ostream& os, const Workload& w) {
+  GC_REQUIRE(w.map != nullptr, "workload has no block map");
+  os << "gcworkload v1\n";
+  if (!w.name.empty()) os << "name " << w.name << '\n';
+  os << "items " << w.map->num_items() << " blocks " << w.map->num_blocks()
+     << " maxblock " << w.map->max_block_size() << '\n';
+  if (dynamic_cast<const UniformBlockMap*>(w.map.get()) != nullptr) {
+    os << "uniform " << w.map->max_block_size() << '\n';
+  } else {
+    for (BlockId j = 0; j < w.map->num_blocks(); ++j) {
+      os << "block " << j;
+      for (ItemId it : w.map->items_of(j)) os << ' ' << it;
+      os << '\n';
+    }
+  }
+  os << "trace " << w.trace.size() << '\n';
+  std::size_t col = 0;
+  for (ItemId it : w.trace) {
+    os << it << ((++col % 16 == 0) ? '\n' : ' ');
+  }
+  if (col % 16 != 0) os << '\n';
+}
+
+Workload load_workload(std::istream& is) {
+  std::string line;
+  if (!next_content_line(is, line) || line.rfind("gcworkload v1", 0) != 0)
+    parse_fail("missing 'gcworkload v1' header");
+
+  Workload w;
+  std::size_t n_items = 0, n_blocks = 0, max_block = 0, trace_len = 0;
+  std::vector<std::vector<ItemId>> blocks;
+  bool uniform = false;
+  std::size_t uniform_b = 0;
+
+  while (next_content_line(is, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "name") {
+      std::string rest;
+      std::getline(ls, rest);
+      const auto first = rest.find_first_not_of(' ');
+      w.name = (first == std::string::npos) ? "" : rest.substr(first);
+    } else if (key == "items") {
+      std::string kw1, kw2;
+      if (!(ls >> n_items >> kw1 >> n_blocks >> kw2 >> max_block) ||
+          kw1 != "blocks" || kw2 != "maxblock")
+        parse_fail("malformed 'items' line: " + line);
+    } else if (key == "uniform") {
+      if (!(ls >> uniform_b)) parse_fail("malformed 'uniform' line");
+      uniform = true;
+    } else if (key == "block") {
+      BlockId j = 0;
+      if (!(ls >> j)) parse_fail("malformed 'block' line");
+      if (j != blocks.size()) parse_fail("block ids must appear in order");
+      std::vector<ItemId> items;
+      ItemId it = 0;
+      while (ls >> it) items.push_back(it);
+      if (items.empty()) parse_fail("empty block in input");
+      blocks.push_back(std::move(items));
+    } else if (key == "trace") {
+      if (!(ls >> trace_len)) parse_fail("malformed 'trace' line");
+      std::vector<ItemId> acc;
+      acc.reserve(trace_len);
+      ItemId it = 0;
+      while (acc.size() < trace_len && is >> it) acc.push_back(it);
+      if (acc.size() != trace_len)
+        parse_fail("trace shorter than declared length");
+      w.trace = Trace(std::move(acc));
+      break;  // trace is the final section
+    } else {
+      parse_fail("unknown directive: " + key);
+    }
+  }
+
+  if (n_items == 0) parse_fail("missing 'items' line");
+  if (uniform) {
+    w.map = std::make_shared<UniformBlockMap>(n_items, uniform_b);
+  } else {
+    if (blocks.empty()) parse_fail("missing block partition");
+    w.map = std::make_shared<ExplicitBlockMap>(std::move(blocks));
+  }
+  if (w.map->num_blocks() != n_blocks)
+    parse_fail("block count does not match header");
+  if (w.map->max_block_size() > max_block)
+    parse_fail("block size exceeds declared maxblock");
+  w.validate();
+  return w;
+}
+
+void save_workload_file(const std::string& path, const Workload& w) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  save_workload(os, w);
+}
+
+Workload load_workload_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return load_workload(is);
+}
+
+}  // namespace gcaching

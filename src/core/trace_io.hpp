@@ -1,0 +1,33 @@
+// Text serialization of workloads (block partition + trace).
+//
+// Format (line-oriented, '#' comments allowed):
+//   gcworkload v1
+//   name <free text to end of line>
+//   items <n> blocks <m> maxblock <B>
+//   block <j> <item> <item> ...        (m lines; omitted for uniform maps)
+//   uniform <B>                        (alternative to the m block lines)
+//   trace <len>
+//   <item> <item> ... (whitespace separated, any line breaks)
+//
+// The format is deliberately trivial: reproduction artifacts should be
+// greppable and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/trace.hpp"
+
+namespace gcaching {
+
+/// Serialize a workload to a stream. Uniform maps are stored compactly.
+void save_workload(std::ostream& os, const Workload& w);
+
+/// Parse a workload; throws std::runtime_error on malformed input.
+Workload load_workload(std::istream& is);
+
+/// File-path convenience wrappers.
+void save_workload_file(const std::string& path, const Workload& w);
+Workload load_workload_file(const std::string& path);
+
+}  // namespace gcaching

@@ -1,0 +1,83 @@
+#include "hierarchy/hierarchy.hpp"
+
+#include "policies/factory.hpp"
+#include "util/contracts.hpp"
+
+namespace gcaching::hierarchy {
+
+std::vector<std::shared_ptr<const BlockMap>> nested_uniform_maps(
+    std::size_t num_items, const std::vector<std::size_t>& granularities) {
+  GC_REQUIRE(!granularities.empty(), "need at least one granularity");
+  std::vector<std::shared_ptr<const BlockMap>> out;
+  out.reserve(granularities.size());
+  for (std::size_t g : granularities) {
+    GC_REQUIRE(g >= 1, "granularities must be positive");
+    out.push_back(make_uniform_blocks(num_items, g));
+  }
+  return out;
+}
+
+HierarchySimulator::HierarchySimulator(std::vector<LevelConfig> levels,
+                                       double probe_cost)
+    : levels_(std::move(levels)), probe_cost_(probe_cost) {
+  GC_REQUIRE(!levels_.empty(), "hierarchy needs at least one level");
+  const std::size_t universe = levels_.front().map
+                                   ? levels_.front().map->num_items()
+                                   : 0;
+  GC_REQUIRE(universe > 0, "levels need block maps");
+  for (const auto& cfg : levels_) {
+    GC_REQUIRE(cfg.map != nullptr, "level missing its block map");
+    GC_REQUIRE(cfg.map->num_items() == universe,
+               "all levels must share one item universe");
+    GC_REQUIRE(cfg.capacity >= 1, "level capacity must be positive");
+    GC_REQUIRE(cfg.miss_penalty >= 0.0, "miss penalty must be non-negative");
+  }
+  policies_.reserve(levels_.size());
+  sims_.reserve(levels_.size());
+  for (const auto& cfg : levels_) {
+    policies_.push_back(make_policy(cfg.policy_spec, cfg.capacity));
+    sims_.push_back(std::make_unique<Simulation>(*cfg.map, *policies_.back(),
+                                                 cfg.capacity));
+  }
+}
+
+void HierarchySimulator::access(ItemId item) {
+  ++accesses_;
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const bool hit = sims_[l]->cache().contains(item);
+    sims_[l]->access(item);  // probe + (on miss) this level's fill policy
+    if (hit) return;         // served here; lower levels never see it
+  }
+  // Missed everywhere: served by memory; every level already filled.
+}
+
+void HierarchySimulator::run(const Trace& trace) {
+  for (ItemId it : trace) access(it);
+}
+
+const SimStats& HierarchySimulator::level_stats(std::size_t l) const {
+  GC_REQUIRE(l < sims_.size(), "level index out of range");
+  return sims_[l]->stats();
+}
+
+double HierarchySimulator::total_cost() const {
+  double cost = probe_cost_ * static_cast<double>(accesses_);
+  for (std::size_t l = 0; l < levels_.size(); ++l)
+    cost += levels_[l].miss_penalty *
+            static_cast<double>(sims_[l]->stats().misses);
+  return cost;
+}
+
+double HierarchySimulator::amat() const {
+  return accesses_ == 0 ? 0.0
+                        : total_cost() / static_cast<double>(accesses_);
+}
+
+double HierarchySimulator::hit_share(std::size_t l) const {
+  GC_REQUIRE(l < sims_.size(), "level index out of range");
+  if (accesses_ == 0) return 0.0;
+  return static_cast<double>(sims_[l]->stats().hits) /
+         static_cast<double>(accesses_);
+}
+
+}  // namespace gcaching::hierarchy

@@ -1,0 +1,79 @@
+// Multi-level cache hierarchies with granularity change at every boundary.
+//
+// The paper's Figure 1 shows a single granularity boundary; real systems
+// chain several (SRAM lines over DRAM rows over flash pages, Section 1).
+// `HierarchySimulator` stacks independent GC caches: level 0 is probed
+// first; each miss falls through to the next level and, on the way back,
+// every missing level runs its own replacement policy — loading any subset
+// of *its* block granularity, which models the transfer unit of the level
+// below it.
+//
+// Levels are independent state machines over the same item universe (no
+// inclusion is enforced — mirroring the paper's observation that IBLP's
+// layers are neither inclusive nor exclusive). The model invariants are
+// enforced per level by each level's verifying CacheContents.
+//
+// Cost model: a hierarchy access always pays `probe_cost` of level 0; each
+// level that misses pays its `miss_penalty` (the latency of going one level
+// further down). `amat()` is total cost / accesses.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "core/trace.hpp"
+
+namespace gcaching::hierarchy {
+
+struct LevelConfig {
+  std::string name;          ///< display label, e.g. "L1" or "dram-cache"
+  std::size_t capacity = 0;  ///< items
+  std::string policy_spec;   ///< policies/factory.hpp spec
+  /// Block partition this level loads subsets of — the transfer
+  /// granularity of the level *below* it. Must cover the same universe at
+  /// every level.
+  std::shared_ptr<const BlockMap> map;
+  /// Latency added when this level misses (fetch from the next level).
+  double miss_penalty = 1.0;
+};
+
+/// Convenience: nested uniform partitions over one universe, e.g.
+/// granularities {1, 32} = an L1 that loads single items over a DRAM cache
+/// that loads subsets of 32-item rows.
+std::vector<std::shared_ptr<const BlockMap>> nested_uniform_maps(
+    std::size_t num_items, const std::vector<std::size_t>& granularities);
+
+class HierarchySimulator {
+ public:
+  /// `probe_cost` is charged once per access (level-0 hit latency).
+  explicit HierarchySimulator(std::vector<LevelConfig> levels,
+                              double probe_cost = 1.0);
+
+  /// Serve one request through the whole hierarchy.
+  void access(ItemId item);
+  void run(const Trace& trace);
+
+  std::size_t num_levels() const noexcept { return levels_.size(); }
+  const LevelConfig& level(std::size_t l) const { return levels_[l]; }
+  const SimStats& level_stats(std::size_t l) const;
+
+  std::uint64_t accesses() const noexcept { return accesses_; }
+  /// Total cost under the latency model.
+  double total_cost() const;
+  /// Average memory access time = total_cost / accesses.
+  double amat() const;
+  /// Fraction of accesses served by level l (a miss at every level is
+  /// "served by memory" and not counted here).
+  double hit_share(std::size_t l) const;
+
+ private:
+  std::vector<LevelConfig> levels_;
+  double probe_cost_;
+  std::vector<std::unique_ptr<ReplacementPolicy>> policies_;
+  std::vector<std::unique_ptr<Simulation>> sims_;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace gcaching::hierarchy

@@ -1,0 +1,74 @@
+#include "locality/concave.hpp"
+
+#include "locality/window_profile.hpp"
+#include "util/contracts.hpp"
+
+namespace gcaching::locality {
+
+std::vector<double> concave_majorant(
+    const std::vector<std::size_t>& window_lengths,
+    const std::vector<double>& samples) {
+  GC_REQUIRE(window_lengths.size() == samples.size() && !samples.empty(),
+             "need matching non-empty arrays");
+  const std::size_t n = samples.size();
+
+  // Upper convex hull (Andrew's monotone chain on the upper side): keep
+  // vertices where the hull turns clockwise.
+  std::vector<std::size_t> hull;  // indices of hull vertices
+  auto x = [&](std::size_t j) {
+    return static_cast<double>(window_lengths[j]);
+  };
+  for (std::size_t j = 0; j < n; ++j) {
+    while (hull.size() >= 2) {
+      const std::size_t a = hull[hull.size() - 2];
+      const std::size_t b = hull[hull.size() - 1];
+      // cross((b-a), (j-a)) >= 0 means b is on/below segment a->j: drop it.
+      const double cross = (x(b) - x(a)) * (samples[j] - samples[a]) -
+                           (samples[b] - samples[a]) * (x(j) - x(a));
+      if (cross >= 0)
+        hull.pop_back();
+      else
+        break;
+    }
+    hull.push_back(j);
+  }
+
+  // Evaluate the hull's piecewise-linear upper envelope at every sample x.
+  std::vector<double> out(n);
+  std::size_t seg = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    while (seg + 1 < hull.size() && x(hull[seg + 1]) < x(j)) ++seg;
+    if (seg + 1 >= hull.size()) {
+      out[j] = samples[hull.back()];
+      continue;
+    }
+    const std::size_t a = hull[seg], b = hull[seg + 1];
+    const double t = (x(j) - x(a)) / (x(b) - x(a));
+    out[j] = samples[a] + t * (samples[b] - samples[a]);
+  }
+  return out;
+}
+
+bool is_concave(const std::vector<std::size_t>& window_lengths,
+                const std::vector<double>& samples, double tol) {
+  GC_REQUIRE(window_lengths.size() == samples.size(),
+             "need matching arrays");
+  for (std::size_t j = 1; j + 1 < samples.size(); ++j) {
+    const double xl = static_cast<double>(window_lengths[j - 1]);
+    const double xm = static_cast<double>(window_lengths[j]);
+    const double xr = static_cast<double>(window_lengths[j + 1]);
+    const double chord = samples[j - 1] + (samples[j + 1] - samples[j - 1]) *
+                                              (xm - xl) / (xr - xl);
+    if (samples[j] + tol < chord) return false;
+  }
+  return true;
+}
+
+bounds::LocalityFunction concave_locality_function(
+    const std::vector<std::size_t>& window_lengths,
+    const std::vector<double>& samples) {
+  return interpolate_locality(window_lengths,
+                              concave_majorant(window_lengths, samples));
+}
+
+}  // namespace gcaching::locality

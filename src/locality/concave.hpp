@@ -1,0 +1,37 @@
+// Concave majorants of measured locality profiles.
+//
+// The Albers-Favrholdt-Giel model (and its Section 7 extension) requires
+// locality functions to be increasing and concave; raw max-distinct
+// measurements are increasing but can have convex kinks (phase changes).
+// `concave_majorant` computes the least concave function dominating the
+// samples — the canonical way to feed measured profiles into the
+// Theorem 8-11 bounds without violating the model's assumptions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bounds/locality_bounds.hpp"
+
+namespace gcaching::locality {
+
+/// Least concave majorant of the points (window_lengths[j], samples[j]),
+/// evaluated back at the same window lengths (upper convex hull in the
+/// (n, f) plane). Output dominates input and is concave and nondecreasing
+/// when the input is nondecreasing.
+std::vector<double> concave_majorant(
+    const std::vector<std::size_t>& window_lengths,
+    const std::vector<double>& samples);
+
+/// True when samples[j] (at window_lengths[j]) are concave: every interior
+/// point lies on or above the chord of its neighbours (tolerance `tol`).
+bool is_concave(const std::vector<std::size_t>& window_lengths,
+                const std::vector<double>& samples, double tol = 1e-9);
+
+/// Convenience: measured profile -> concave majorant -> interpolated
+/// LocalityFunction ready for the Theorem 8-11 bounds.
+bounds::LocalityFunction concave_locality_function(
+    const std::vector<std::size_t>& window_lengths,
+    const std::vector<double>& samples);
+
+}  // namespace gcaching::locality

@@ -1,0 +1,85 @@
+#include "locality/mrc.hpp"
+
+#include <algorithm>
+#include <list>
+
+#include "util/contracts.hpp"
+
+namespace gcaching::locality {
+
+std::uint64_t StackDistanceHistogram::misses_at(std::size_t c) const {
+  // Misses = cold + accesses with distance > c.
+  std::uint64_t hits = 0;
+  const std::size_t top = std::min(c, hist.size() - 1);
+  for (std::size_t d = 1; d <= top; ++d) hits += hist[d];
+  return accesses - hits;
+}
+
+StackDistanceHistogram stack_distances(const std::vector<std::uint32_t>& keys,
+                                       std::size_t key_universe) {
+  StackDistanceHistogram out;
+  out.accesses = keys.size();
+  out.hist.assign(2, 0);
+
+  // Move-to-front list with per-key iterators: distance = position from
+  // the front (1-based) before the move.
+  std::list<std::uint32_t> stack;
+  std::vector<std::list<std::uint32_t>::iterator> where(key_universe);
+  std::vector<bool> seen(key_universe, false);
+
+  for (std::uint32_t key : keys) {
+    GC_REQUIRE(key < key_universe, "key out of range");
+    if (!seen[key]) {
+      ++out.cold;
+      stack.push_front(key);
+      where[key] = stack.begin();
+      seen[key] = true;
+      continue;
+    }
+    // Linear scan for the depth (exact; O(D) worst case).
+    std::size_t depth = 1;
+    for (auto it = stack.begin(); it != where[key]; ++it) ++depth;
+    if (depth >= out.hist.size()) out.hist.resize(depth + 1, 0);
+    ++out.hist[depth];
+    stack.erase(where[key]);
+    stack.push_front(key);
+    where[key] = stack.begin();
+  }
+  return out;
+}
+
+MissRatioCurve lru_mrc(const Workload& workload,
+                       const std::vector<std::size_t>& sizes) {
+  workload.validate();
+  GC_REQUIRE(std::is_sorted(sizes.begin(), sizes.end()),
+             "sizes must be ascending");
+  const auto hist = stack_distances(workload.trace.accesses(),
+                                    workload.map->num_items());
+  MissRatioCurve curve;
+  curve.sizes = sizes;
+  curve.accesses = hist.accesses;
+  curve.misses.reserve(sizes.size());
+  for (std::size_t s : sizes) curve.misses.push_back(hist.misses_at(s));
+  return curve;
+}
+
+MissRatioCurve block_lru_mrc(const Workload& workload,
+                             const std::vector<std::size_t>& sizes) {
+  workload.validate();
+  GC_REQUIRE(std::is_sorted(sizes.begin(), sizes.end()),
+             "sizes must be ascending");
+  std::vector<std::uint32_t> blocks(workload.trace.size());
+  for (std::size_t p = 0; p < workload.trace.size(); ++p)
+    blocks[p] = workload.map->block_of(workload.trace[p]);
+  const auto hist = stack_distances(blocks, workload.map->num_blocks());
+  const std::size_t B = workload.map->max_block_size();
+  MissRatioCurve curve;
+  curve.sizes = sizes;
+  curve.accesses = hist.accesses;
+  curve.misses.reserve(sizes.size());
+  for (std::size_t s : sizes)
+    curve.misses.push_back(hist.misses_at(s / B));
+  return curve;
+}
+
+}  // namespace gcaching::locality

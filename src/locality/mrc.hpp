@@ -1,0 +1,64 @@
+// Exact miss-ratio curves via Mattson's stack algorithm.
+//
+// Mattson et al. [1970] (cited as the classical offline foundation in
+// Section 1): for stack algorithms like LRU, one pass over the trace yields
+// the miss count for EVERY cache size simultaneously — record each access's
+// stack (reuse) distance and take suffix sums of the histogram.
+//
+// We provide item-granularity curves (traditional LRU), block-granularity
+// curves (Block-LRU: distances over the block-id stream, sizes in units of
+// B items), and the *spatial-opportunity* curve: the item-LRU curve of an
+// imaginary trace where a block access covers all its items — a cheap upper
+// bound on what granularity-change loading could ever save.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trace.hpp"
+
+namespace gcaching::locality {
+
+struct MissRatioCurve {
+  /// cache sizes (in items) at which the curve is sampled; ascending.
+  std::vector<std::size_t> sizes;
+  /// misses[j] = exact LRU miss count at capacity sizes[j].
+  std::vector<std::uint64_t> misses;
+  /// total accesses (denominator for ratios).
+  std::uint64_t accesses = 0;
+
+  double miss_ratio(std::size_t j) const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses[j]) /
+                               static_cast<double>(accesses);
+  }
+};
+
+/// Stack-distance histogram of a key stream: hist[d] = number of accesses
+/// with LRU stack distance exactly d (1-based; hist[0] unused), plus
+/// `cold` = first-touch accesses (infinite distance).
+struct StackDistanceHistogram {
+  std::vector<std::uint64_t> hist;  // index = distance, 1-based
+  std::uint64_t cold = 0;
+  std::uint64_t accesses = 0;
+
+  /// Exact LRU miss count at capacity `c` (in keys): cold misses plus all
+  /// accesses with distance > c.
+  std::uint64_t misses_at(std::size_t c) const;
+};
+
+/// One-pass exact stack distances (O(T * D) with a move-to-front list; D is
+/// bounded by the number of distinct keys — fine at simulation scale).
+StackDistanceHistogram stack_distances(const std::vector<std::uint32_t>& keys,
+                                       std::size_t key_universe);
+
+/// Item-granularity LRU curve of a workload at the given sizes.
+MissRatioCurve lru_mrc(const Workload& workload,
+                       const std::vector<std::size_t>& sizes);
+
+/// Block-granularity LRU curve: distances over block ids; a capacity of
+/// `s` items holds floor(s / B) blocks.
+MissRatioCurve block_lru_mrc(const Workload& workload,
+                             const std::vector<std::size_t>& sizes);
+
+}  // namespace gcaching::locality

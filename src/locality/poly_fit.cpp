@@ -1,0 +1,53 @@
+#include "locality/poly_fit.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace gcaching::locality {
+
+PolyFit fit_poly_locality(const std::vector<std::size_t>& window_lengths,
+                          const std::vector<double>& samples) {
+  GC_REQUIRE(window_lengths.size() == samples.size(),
+             "sample arrays must match");
+  std::vector<double> lx, ly;
+  for (std::size_t j = 0; j < samples.size(); ++j) {
+    if (samples[j] <= 0.0 || window_lengths[j] == 0) continue;
+    lx.push_back(std::log(static_cast<double>(window_lengths[j])));
+    ly.push_back(std::log(samples[j]));
+  }
+  GC_REQUIRE(lx.size() >= 2, "need at least two positive samples to fit");
+
+  const double n = static_cast<double>(lx.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t j = 0; j < lx.size(); ++j) {
+    sx += lx[j];
+    sy += ly[j];
+    sxx += lx[j] * lx[j];
+    sxy += lx[j] * ly[j];
+    syy += ly[j] * ly[j];
+  }
+  const double denom = n * sxx - sx * sx;
+  GC_REQUIRE(std::fabs(denom) > 1e-12, "degenerate fit: identical windows");
+  const double slope = (n * sxy - sx * sy) / denom;      // = 1/p
+  const double intercept = (sy - slope * sx) / n;        // = log c
+
+  PolyFit fit;
+  fit.c = std::exp(intercept);
+  // Clamp: locality functions are concave increasing => slope in (0, 1].
+  const double s = std::min(1.0, std::max(1e-6, slope));
+  fit.p = 1.0 / s;
+
+  // R^2 in log-log space.
+  const double mean_y = sy / n;
+  double ss_tot = 0, ss_res = 0;
+  for (std::size_t j = 0; j < lx.size(); ++j) {
+    const double pred = intercept + slope * lx[j];
+    ss_res += (ly[j] - pred) * (ly[j] - pred);
+    ss_tot += (ly[j] - mean_y) * (ly[j] - mean_y);
+  }
+  fit.r_squared = ss_tot <= 1e-12 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+}  // namespace gcaching::locality

@@ -1,0 +1,31 @@
+// Fitting the Section 7.3 polynomial locality family to measured profiles.
+//
+// Real traces have approximately f(n) = c * n^(1/p) working-set growth for
+// some p >= 1 (concave power laws). We fit (c, p) by least squares in
+// log-log space:  log f(n) = log c + (1/p) log n.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bounds/locality_bounds.hpp"
+
+namespace gcaching::locality {
+
+struct PolyFit {
+  double c = 1.0;
+  double p = 1.0;
+  double r_squared = 0.0;  ///< goodness of fit in log-log space
+
+  bounds::LocalityFunction as_function() const {
+    return bounds::make_poly_locality(c, p);
+  }
+};
+
+/// Least-squares fit of c * n^(1/p) through (window_lengths, samples).
+/// Samples equal to zero are skipped (log undefined). Requires at least two
+/// usable points.
+PolyFit fit_poly_locality(const std::vector<std::size_t>& window_lengths,
+                          const std::vector<double>& samples);
+
+}  // namespace gcaching::locality

@@ -1,0 +1,77 @@
+#include "locality/trace_stats.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "locality/mrc.hpp"
+#include "util/contracts.hpp"
+
+namespace gcaching::locality {
+
+TraceStats compute_trace_stats(const Workload& workload) {
+  workload.validate();
+  TraceStats out;
+  const auto& trace = workload.trace;
+  out.accesses = trace.size();
+  if (trace.empty()) return out;
+  const BlockMap& map = *workload.map;
+
+  // Distinct counts and per-block footprints.
+  std::unordered_set<ItemId> items(trace.begin(), trace.end());
+  out.distinct_items = items.size();
+  std::vector<std::unordered_set<ItemId>> footprint(map.num_blocks());
+  for (ItemId it : trace) footprint[map.block_of(it)].insert(it);
+  std::uint64_t blocks_touched = 0, footprint_total = 0;
+  for (const auto& fp : footprint) {
+    if (fp.empty()) continue;
+    ++blocks_touched;
+    footprint_total += fp.size();
+  }
+  out.distinct_blocks = blocks_touched;
+  out.mean_block_footprint =
+      static_cast<double>(footprint_total) /
+      static_cast<double>(std::max<std::uint64_t>(1, blocks_touched));
+
+  // Spatial runs.
+  std::uint64_t runs = 0, run_len_total = 0, run = 1;
+  for (std::size_t p = 1; p <= trace.size(); ++p) {
+    const bool same_block =
+        p < trace.size() &&
+        map.block_of(trace[p]) == map.block_of(trace[p - 1]);
+    if (same_block) {
+      ++run;
+    } else {
+      ++runs;
+      run_len_total += run;
+      out.max_spatial_run = std::max(out.max_spatial_run, run);
+      run = 1;
+    }
+  }
+  out.mean_spatial_run = static_cast<double>(run_len_total) /
+                         static_cast<double>(std::max<std::uint64_t>(1, runs));
+
+  // Reuse-distance quantiles from the exact stack-distance histogram.
+  const auto hist =
+      stack_distances(trace.accesses(), map.num_items());
+  out.cold_accesses = hist.cold;
+  const std::uint64_t finite = hist.accesses - hist.cold;
+  if (finite > 0) {
+    for (std::size_t q = 0; q < 3; ++q) {
+      const auto target = static_cast<std::uint64_t>(
+          TraceStats::kQuantiles[q] * static_cast<double>(finite));
+      std::uint64_t seen = 0;
+      for (std::size_t d = 1; d < hist.hist.size(); ++d) {
+        seen += hist.hist[d];
+        if (seen > target || (seen == target && seen == finite)) {
+          out.reuse_distance_quantiles[q] = d;
+          break;
+        }
+      }
+      if (out.reuse_distance_quantiles[q] == 0)
+        out.reuse_distance_quantiles[q] = hist.hist.size() - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace gcaching::locality

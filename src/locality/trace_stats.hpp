@@ -1,0 +1,43 @@
+// Descriptive trace statistics.
+//
+// Quick characterization before any simulation: reuse-distance quantiles
+// (temporal locality), spatial run lengths (how many consecutive accesses
+// stay within one block — the raw material for granularity-change loading),
+// and per-block footprint densities (how much of each block a trace
+// actually touches — what Block Caches waste). `gcsim profile` and the
+// benches use these to explain *why* a policy wins on a trace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trace.hpp"
+
+namespace gcaching::locality {
+
+struct TraceStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t distinct_items = 0;
+  std::uint64_t distinct_blocks = 0;
+
+  /// Mean items of a block touched across all blocks ever referenced
+  /// (1 = one hot item per block, B = dense use).
+  double mean_block_footprint = 0.0;
+
+  /// Mean length of maximal runs of consecutive accesses that stay within
+  /// one block (1 = no spatial runs).
+  double mean_spatial_run = 0.0;
+  std::uint64_t max_spatial_run = 0;
+
+  /// LRU reuse-distance quantiles over items (cold accesses excluded);
+  /// index i holds the q[i] quantile from `kQuantiles`.
+  static constexpr double kQuantiles[3] = {0.5, 0.9, 0.99};
+  std::uint64_t reuse_distance_quantiles[3] = {0, 0, 0};
+  std::uint64_t cold_accesses = 0;
+};
+
+/// Computes all statistics in O(T · D) time (D = distinct items, from the
+/// exact stack-distance pass shared with the MRC module).
+TraceStats compute_trace_stats(const Workload& workload);
+
+}  // namespace gcaching::locality

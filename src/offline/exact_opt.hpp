@@ -1,0 +1,56 @@
+// Exact offline optimum for small GC-caching instances.
+//
+// Offline GC Caching is NP-complete (Theorem 1), so no polynomial algorithm
+// is expected; this solver does an exact 0/1-BFS (Dijkstra with 0/1 weights)
+// over states (trace position, cache contents bitmask). It is exponential
+// but comfortably handles the instances we need it for:
+//   * verifying the Theorem 1 reduction end-to-end (OPT_vs == OPT_gc),
+//   * certifying that every policy's miss count >= OPT on random instances,
+//   * checking the proofs' "the optimal cache does X" claims.
+//
+// Restrictions: universe <= 64 items (bitmask state), and the reachable
+// state space must fit in memory — in practice traces of a few dozen
+// accesses with k <= ~8 and B <= ~6.
+//
+// Transition pruning (both are exact, not heuristic):
+//   * lazy eviction — evicting more than the minimum needed for a load can
+//     be deferred for free, so only minimum-size eviction sets are explored;
+//   * hits advance position with no branching.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/trace.hpp"
+
+namespace gcaching {
+
+/// One step of an optimal schedule (for inspection in tests).
+struct OptStep {
+  std::size_t position = 0;       ///< trace index served by this step
+  bool miss = false;              ///< whether this access cost 1
+  std::uint64_t loaded = 0;       ///< bitmask of items loaded at this step
+  std::uint64_t evicted = 0;      ///< bitmask of items evicted at this step
+};
+
+struct ExactOptResult {
+  std::uint64_t cost = 0;              ///< minimum number of misses
+  std::vector<OptStep> schedule;       ///< only if schedule requested
+  std::size_t states_expanded = 0;     ///< search effort, for diagnostics
+};
+
+struct ExactOptOptions {
+  bool want_schedule = false;
+  /// Safety valve: abort (throws ContractViolation) past this many expanded
+  /// states; 0 means unlimited.
+  std::size_t max_states = 50'000'000;
+};
+
+/// Computes the exact minimum miss count for serving `trace` with a cache of
+/// `capacity` items under partition `map`, starting from an empty cache.
+ExactOptResult exact_offline_opt(const BlockMap& map, const Trace& trace,
+                                 std::size_t capacity,
+                                 const ExactOptOptions& options = {});
+
+}  // namespace gcaching

@@ -1,0 +1,53 @@
+#include "offline/opt_bounds.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/contracts.hpp"
+#include "util/mathx.hpp"
+
+namespace gcaching {
+
+std::uint64_t opt_lower_bound_distinct_blocks(const BlockMap& map,
+                                              const Trace& trace) {
+  std::unordered_set<BlockId> blocks;
+  for (ItemId it : trace) blocks.insert(map.block_of(it));
+  return blocks.size();
+}
+
+std::uint64_t opt_lower_bound_windows(const BlockMap& map, const Trace& trace,
+                                      std::size_t capacity,
+                                      std::size_t window) {
+  GC_REQUIRE(capacity >= 1, "capacity must be positive");
+  if (trace.empty()) return 0;
+  if (window == 0) window = std::max<std::size_t>(4 * capacity, 64);
+
+  const std::uint64_t b = map.max_block_size();
+  std::uint64_t item_bound = 0;
+  std::uint64_t block_bound = 0;
+
+  std::unordered_set<ItemId> items;
+  std::unordered_set<BlockId> blocks;
+  for (std::size_t start = 0; start < trace.size(); start += window) {
+    items.clear();
+    blocks.clear();
+    const std::size_t end = std::min(trace.size(), start + window);
+    for (std::size_t p = start; p < end; ++p) {
+      items.insert(trace[p]);
+      blocks.insert(map.block_of(trace[p]));
+    }
+    if (items.size() > capacity)
+      item_bound += ceil_div(items.size() - capacity, b);
+    if (blocks.size() > capacity)
+      block_bound += blocks.size() - capacity;
+  }
+  return std::max(item_bound, block_bound);
+}
+
+std::uint64_t opt_lower_bound(const BlockMap& map, const Trace& trace,
+                              std::size_t capacity) {
+  return std::max(opt_lower_bound_distinct_blocks(map, trace),
+                  opt_lower_bound_windows(map, trace, capacity));
+}
+
+}  // namespace gcaching

@@ -1,0 +1,40 @@
+// Certified lower bounds on the offline optimum for arbitrary traces.
+//
+// The exact solver is exponential, so for large traces we bound OPT from
+// below instead (useful for empirical competitive-ratio estimates: measured
+// misses / lower-bound(OPT) over-estimates the true ratio, never under-).
+//
+//   * Distinct-blocks bound: starting from an empty cache, every block that
+//     is ever referenced must be loaded at least once, and a miss loads
+//     from exactly one block; hence OPT >= number of distinct blocks.
+//   * Window working-set bound: in any access window W, at most k items are
+//     resident when W starts and each miss adds at most B items, so
+//     OPT_misses(W) >= ceil((distinct_items(W) - k) / B). Summed over
+//     disjoint windows. A block-granularity refinement uses distinct blocks:
+//     OPT_misses(W) >= distinct_blocks(W) - k  (at most k blocks can have a
+//     resident item when W starts, and each miss touches one block).
+//
+// The returned bound is the max of all three.
+#pragma once
+
+#include <cstdint>
+
+#include "core/trace.hpp"
+
+namespace gcaching {
+
+/// OPT >= distinct blocks referenced (empty initial cache).
+std::uint64_t opt_lower_bound_distinct_blocks(const BlockMap& map,
+                                              const Trace& trace);
+
+/// Window-sum bound with windows of `window` accesses (0 = pick
+/// automatically as 4*k).
+std::uint64_t opt_lower_bound_windows(const BlockMap& map, const Trace& trace,
+                                      std::size_t capacity,
+                                      std::size_t window = 0);
+
+/// max of all implemented bounds.
+std::uint64_t opt_lower_bound(const BlockMap& map, const Trace& trace,
+                              std::size_t capacity);
+
+}  // namespace gcaching

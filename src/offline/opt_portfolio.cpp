@@ -1,0 +1,44 @@
+#include "offline/opt_portfolio.hpp"
+
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "policies/factory.hpp"
+#include "util/contracts.hpp"
+
+namespace gcaching {
+
+PortfolioResult opt_portfolio_upper(const BlockMap& map, const Trace& trace,
+                                    std::size_t capacity,
+                                    bool include_iblp_sweep) {
+  GC_REQUIRE(capacity >= 1, "capacity must be positive");
+  std::vector<std::string> specs = {"belady-item", "belady-greedy-gc"};
+  if (capacity >= map.max_block_size()) specs.push_back("belady-block");
+  if (include_iblp_sweep && capacity >= 2 * map.max_block_size()) {
+    // A small split grid; IBLP is online but still yields legal schedules,
+    // and its layered structure often beats the pure clairvoyant policies
+    // on adversarial traces built around layered reservations.
+    for (double frac : {0.25, 0.5, 0.75}) {
+      const auto i = static_cast<std::size_t>(frac *
+                                              static_cast<double>(capacity));
+      const std::size_t b = capacity - i;
+      if (b < map.max_block_size()) continue;
+      specs.push_back("iblp:i=" + std::to_string(i) +
+                      ",b=" + std::to_string(b));
+    }
+  }
+
+  PortfolioResult best;
+  best.misses = ~std::uint64_t{0};
+  for (const auto& spec : specs) {
+    auto policy = make_policy(spec, capacity);
+    const SimStats s = simulate(map, trace, *policy, capacity);
+    if (s.misses < best.misses) {
+      best.misses = s.misses;
+      best.best_policy = spec;
+    }
+  }
+  return best;
+}
+
+}  // namespace gcaching

@@ -1,0 +1,34 @@
+// Portfolio offline upper bound.
+//
+// For traces too large for the exact solver, the cheapest schedule found by
+// a portfolio of clairvoyant policies is a certified *upper* bound on OPT
+// (each portfolio member produces a legal schedule). Combined with the
+// certified lower bounds in opt_bounds.hpp this brackets OPT:
+//
+//     opt_lower_bound(...)  <=  OPT  <=  opt_portfolio_upper(...).misses
+//
+// Empirical competitive-ratio studies should divide online misses by the
+// portfolio bound when a ratio *lower* estimate is wanted, and by the lower
+// bound when an upper estimate is wanted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/trace.hpp"
+
+namespace gcaching {
+
+struct PortfolioResult {
+  std::uint64_t misses = 0;   ///< best (smallest) miss count found
+  std::string best_policy;    ///< which portfolio member achieved it
+};
+
+/// Runs every offline policy in the portfolio (Belady item, Belady block,
+/// the clairvoyant greedy GC heuristic, and — when `include_iblp_sweep` —
+/// IBLP across a small grid of splits) and returns the best schedule cost.
+PortfolioResult opt_portfolio_upper(const BlockMap& map, const Trace& trace,
+                                    std::size_t capacity,
+                                    bool include_iblp_sweep = true);
+
+}  // namespace gcaching

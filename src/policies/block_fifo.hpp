@@ -1,0 +1,30 @@
+// Block Cache running FIFO over blocks.
+//
+// Same whole-block load/evict granularity as BlockLru but with insertion-
+// order eviction; the pairing mirrors the item-granularity LRU/FIFO pair so
+// ablations can separate granularity effects from recency effects.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/policy.hpp"
+#include "policies/lru_list.hpp"
+
+namespace gcaching {
+
+class BlockFifo final : public ReplacementPolicy {
+ public:
+  BlockFifo() = default;
+
+  void attach(const BlockMap& map, CacheContents& cache) override;
+  void on_hit(ItemId item) override;
+  void on_miss(ItemId item) override;
+  void reset() override;
+  std::string name() const override { return "block-fifo"; }
+
+ private:
+  std::unique_ptr<IndexedList> queue_;  // over block ids, front = newest
+};
+
+}  // namespace gcaching

@@ -1,0 +1,123 @@
+#include "policies/factory.hpp"
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+
+#include "policies/athreshold.hpp"
+#include "policies/belady.hpp"
+#include "policies/block_fifo.hpp"
+#include "policies/block_lru.hpp"
+#include "policies/footprint.hpp"
+#include "policies/gcm.hpp"
+#include "policies/iblp.hpp"
+#include "policies/item_arc.hpp"
+#include "policies/item_clock.hpp"
+#include "policies/item_fifo.hpp"
+#include "policies/item_lfu.hpp"
+#include "policies/item_lru.hpp"
+#include "policies/item_random.hpp"
+#include "policies/item_slru.hpp"
+#include "util/contracts.hpp"
+
+namespace gcaching {
+
+namespace {
+
+using Params = std::map<std::string, std::string>;
+
+std::pair<std::string, Params> parse_spec(const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string name = spec.substr(0, colon);
+  Params params;
+  if (colon != std::string::npos) {
+    std::istringstream rest(spec.substr(colon + 1));
+    std::string kv;
+    while (std::getline(rest, kv, ',')) {
+      const auto eq = kv.find('=');
+      GC_REQUIRE(eq != std::string::npos,
+                 "policy parameter must be key=value: " + kv);
+      params[kv.substr(0, eq)] = kv.substr(eq + 1);
+    }
+  }
+  return {name, params};
+}
+
+std::uint64_t get_u64(const Params& p, const std::string& key,
+                      std::uint64_t fallback) {
+  const auto it = p.find(key);
+  if (it == p.end()) return fallback;
+  return std::stoull(it->second);
+}
+
+double get_f64(const Params& p, const std::string& key, double fallback) {
+  const auto it = p.find(key);
+  if (it == p.end()) return fallback;
+  return std::stod(it->second);
+}
+
+IblpConfig iblp_config(const Params& p, std::size_t capacity) {
+  IblpConfig cfg;
+  const std::uint64_t half = capacity / 2;
+  cfg.item_layer = static_cast<std::size_t>(get_u64(p, "i", half));
+  cfg.block_layer =
+      static_cast<std::size_t>(get_u64(p, "b", capacity - cfg.item_layer));
+  GC_REQUIRE(cfg.total() == capacity,
+             "IBLP spec i+b must equal the cache capacity");
+  return cfg;
+}
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy> make_policy(const std::string& spec,
+                                               std::size_t capacity) {
+  const auto [name, params] = parse_spec(spec);
+  if (name == "item-lru") return std::make_unique<ItemLru>();
+  if (name == "item-fifo") return std::make_unique<ItemFifo>();
+  if (name == "item-lfu") return std::make_unique<ItemLfu>();
+  if (name == "item-clock") return std::make_unique<ItemClock>();
+  if (name == "item-random")
+    return std::make_unique<ItemRandom>(get_u64(params, "seed", 1));
+  if (name == "item-slru")
+    return std::make_unique<ItemSlru>(get_f64(params, "p", 0.5));
+  if (name == "item-arc") return std::make_unique<ItemArc>();
+  if (name == "footprint")
+    return std::make_unique<FootprintCache>(
+        get_u64(params, "cold_block", 1) != 0);
+  if (name == "block-lru") return std::make_unique<BlockLru>();
+  if (name == "block-fifo") return std::make_unique<BlockFifo>();
+  if (name == "iblp")
+    return std::make_unique<Iblp>(iblp_config(params, capacity));
+  if (name == "iblp-excl")
+    return std::make_unique<IblpExclusive>(iblp_config(params, capacity));
+  if (name == "iblp-blockfirst")
+    return std::make_unique<IblpBlockFirst>(iblp_config(params, capacity));
+  if (name == "gcm")
+    return std::make_unique<Gcm>(
+        get_u64(params, "seed", 1),
+        static_cast<std::size_t>(get_u64(params, "sideload", 0)));
+  if (name == "marking-item")
+    return std::make_unique<MarkingItem>(get_u64(params, "seed", 1));
+  if (name == "marking-blockmark")
+    return std::make_unique<MarkingBlockMark>(get_u64(params, "seed", 1));
+  if (name == "athreshold")
+    return std::make_unique<AThreshold>(
+        static_cast<unsigned>(get_u64(params, "a", 1)));
+  if (name == "belady-item") return std::make_unique<BeladyItem>();
+  if (name == "belady-block") return std::make_unique<BeladyBlock>();
+  if (name == "belady-greedy-gc") return std::make_unique<BeladyGreedyGc>();
+  GC_REQUIRE(false, "unknown policy spec: " + spec);
+  return nullptr;  // unreachable
+}
+
+std::vector<std::string> known_policy_names() {
+  return {"item-lru",       "item-fifo",         "item-lfu",
+          "item-clock",     "item-random",       "item-slru",
+          "item-arc",       "footprint",         "block-lru",
+          "block-fifo",     "iblp",              "iblp-excl",
+          "iblp-blockfirst", "gcm",              "marking-item",
+          "marking-blockmark", "athreshold",     "belady-item",
+          "belady-block",   "belady-greedy-gc"};
+}
+
+}  // namespace gcaching

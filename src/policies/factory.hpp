@@ -1,0 +1,36 @@
+// Policy construction by name — the registry used by benches, examples and
+// parameterized tests.
+//
+// Spec grammar:  <name>[:key=value[,key=value...]]
+//   item-lru | item-fifo | item-lfu | item-clock | item-random |
+//   item-slru[:p=<frac>] | item-arc |
+//   footprint[:cold_block=<0|1>] |
+//   block-lru | block-fifo |
+//   iblp:i=<n>,b=<n> | iblp-excl:i=<n>,b=<n> | iblp-blockfirst:i=<n>,b=<n> |
+//   gcm[:seed=<n>] | marking-item[:seed=<n>] | marking-blockmark[:seed=<n>] |
+//   athreshold:a=<n> |
+//   belady-item | belady-block | belady-greedy-gc
+//
+// For IBLP specs, `i`/`b` may be omitted when a capacity is supplied to
+// `make_policy`: the split defaults to i = b = capacity/2.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace gcaching {
+
+/// Construct a policy from a spec string. `capacity` is the cache size the
+/// policy will be attached to; size-dependent defaults (IBLP split) use it.
+/// Throws ContractViolation on an unknown name or malformed spec.
+std::unique_ptr<ReplacementPolicy> make_policy(const std::string& spec,
+                                               std::size_t capacity);
+
+/// All spec names accepted by make_policy (without parameters), for
+/// enumeration in tests and `--help` text.
+std::vector<std::string> known_policy_names();
+
+}  // namespace gcaching

@@ -1,0 +1,119 @@
+#include "policies/item_arc.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace gcaching {
+
+void ItemArc::attach(const BlockMap& map, CacheContents& cache) {
+  set_attachment(map, cache);
+  c_ = cache.capacity();
+  t1_ = std::make_unique<IndexedList>(map.num_items());
+  t2_ = std::make_unique<IndexedList>(map.num_items());
+  b1_ = std::make_unique<IndexedList>(map.num_items());
+  b2_ = std::make_unique<IndexedList>(map.num_items());
+  where_.assign(map.num_items(), Where::kNone);
+  p_ = 0.0;
+}
+
+void ItemArc::on_hit(ItemId item) {
+  // Case I of the ARC paper: hit in T1 or T2 promotes to T2's MRU end.
+  if (where_[item] == Where::kT1) {
+    t1_->remove(item);
+    t2_->push_front(item);
+    where_[item] = Where::kT2;
+  } else {
+    GC_CHECK(where_[item] == Where::kT2, "resident item not in T1/T2");
+    t2_->move_to_front(item);
+  }
+}
+
+void ItemArc::replace(bool hit_in_b2) {
+  // REPLACE(p): demote from T1 if it exceeds its target (or ties while the
+  // request re-arrived via B2), else from T2. The demoted item leaves the
+  // cache and its id enters the corresponding ghost list.
+  const double t1_sz = static_cast<double>(t1_->size());
+  if (!t1_->empty() &&
+      (t1_sz > p_ || (hit_in_b2 && t1_sz == p_))) {
+    const ItemId victim = t1_->pop_back();
+    cache().evict(victim);
+    b1_->push_front(victim);
+    where_[victim] = Where::kB1;
+  } else {
+    GC_CHECK(!t2_->empty(), "REPLACE with both resident lists empty");
+    const ItemId victim = t2_->pop_back();
+    cache().evict(victim);
+    b2_->push_front(victim);
+    where_[victim] = Where::kB2;
+  }
+}
+
+void ItemArc::ghost_trim(IndexedList& ghost) {
+  const ItemId dropped = ghost.pop_back();
+  where_[dropped] = Where::kNone;
+}
+
+void ItemArc::on_miss(ItemId item) {
+  const double cd = static_cast<double>(c_);
+  if (where_[item] == Where::kB1) {
+    // Case II: ghost hit in B1 — grow T1's target.
+    const double delta = std::max(
+        1.0, static_cast<double>(b2_->size()) /
+                 static_cast<double>(std::max<std::size_t>(1, b1_->size())));
+    p_ = std::min(cd, p_ + delta);
+    replace(/*hit_in_b2=*/false);
+    b1_->remove(item);
+    cache().load(item);
+    t2_->push_front(item);
+    where_[item] = Where::kT2;
+    return;
+  }
+  if (where_[item] == Where::kB2) {
+    // Case III: ghost hit in B2 — shrink T1's target.
+    const double delta = std::max(
+        1.0, static_cast<double>(b1_->size()) /
+                 static_cast<double>(std::max<std::size_t>(1, b2_->size())));
+    p_ = std::max(0.0, p_ - delta);
+    replace(/*hit_in_b2=*/true);
+    b2_->remove(item);
+    cache().load(item);
+    t2_->push_front(item);
+    where_[item] = Where::kT2;
+    return;
+  }
+
+  // Case IV: a genuinely new item.
+  const std::size_t l1 = t1_->size() + b1_->size();
+  const std::size_t l2 = t2_->size() + b2_->size();
+  if (l1 == c_) {
+    if (t1_->size() < c_) {
+      ghost_trim(*b1_);
+      replace(/*hit_in_b2=*/false);
+    } else {
+      // T1 fills the whole cache: drop its LRU item without ghosting.
+      const ItemId victim = t1_->pop_back();
+      cache().evict(victim);
+      where_[victim] = Where::kNone;
+    }
+  } else if (l1 < c_ && l1 + l2 >= c_) {
+    if (l1 + l2 == 2 * c_) ghost_trim(*b2_);
+    if (cache().full()) replace(/*hit_in_b2=*/false);
+  }
+  cache().load(item);
+  t1_->push_front(item);
+  where_[item] = Where::kT1;
+}
+
+void ItemArc::reset() {
+  if (t1_) {
+    t1_->clear();
+    t2_->clear();
+    b1_->clear();
+    b2_->clear();
+  }
+  where_.assign(where_.size(), Where::kNone);
+  p_ = 0.0;
+}
+
+}  // namespace gcaching

@@ -1,0 +1,62 @@
+#include "policies/item_clock.hpp"
+
+#include "util/contracts.hpp"
+
+namespace gcaching {
+
+void ItemClock::attach(const BlockMap& map, CacheContents& cache) {
+  set_attachment(map, cache);
+  slots_.assign(cache.capacity(), kInvalidItem);
+  ref_.assign(cache.capacity(), false);
+  slot_of_.assign(map.num_items(), kNoSlot);
+  hand_ = 0;
+  used_ = 0;
+}
+
+void ItemClock::on_hit(ItemId item) {
+  const std::uint32_t slot = slot_of_[item];
+  GC_CHECK(slot != kNoSlot, "hit on item without a slot");
+  ref_[slot] = true;
+}
+
+std::size_t ItemClock::advance_hand() {
+  // Classic second-chance sweep: clear reference bits until an unreferenced
+  // slot is found. Terminates within two laps.
+  for (;;) {
+    if (ref_[hand_]) {
+      ref_[hand_] = false;
+      hand_ = (hand_ + 1) % slots_.size();
+    } else {
+      const std::size_t victim = hand_;
+      hand_ = (hand_ + 1) % slots_.size();
+      return victim;
+    }
+  }
+}
+
+void ItemClock::on_miss(ItemId item) {
+  std::size_t slot;
+  if (used_ < slots_.size()) {
+    // Fill empty slots first (cold start).
+    slot = used_++;
+  } else {
+    slot = advance_hand();
+    const ItemId victim = slots_[slot];
+    slot_of_[victim] = kNoSlot;
+    cache().evict(victim);
+  }
+  cache().load(item);
+  slots_[slot] = item;
+  ref_[slot] = false;  // inserted without a reference bit; first hit sets it
+  slot_of_[item] = static_cast<std::uint32_t>(slot);
+}
+
+void ItemClock::reset() {
+  slots_.assign(slots_.size(), kInvalidItem);
+  ref_.assign(ref_.size(), false);
+  slot_of_.assign(slot_of_.size(), kNoSlot);
+  hand_ = 0;
+  used_ = 0;
+}
+
+}  // namespace gcaching

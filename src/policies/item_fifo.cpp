@@ -1,0 +1,27 @@
+#include "policies/item_fifo.hpp"
+
+namespace gcaching {
+
+void ItemFifo::attach(const BlockMap& map, CacheContents& cache) {
+  set_attachment(map, cache);
+  queue_ = std::make_unique<IndexedList>(map.num_items());
+}
+
+void ItemFifo::on_hit(ItemId /*item*/) {
+  // FIFO ignores hits by definition.
+}
+
+void ItemFifo::on_miss(ItemId item) {
+  if (cache().full()) {
+    const ItemId victim = queue_->pop_back();
+    cache().evict(victim);
+  }
+  cache().load(item);
+  queue_->push_front(item);
+}
+
+void ItemFifo::reset() {
+  if (queue_) queue_->clear();
+}
+
+}  // namespace gcaching

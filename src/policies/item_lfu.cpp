@@ -1,0 +1,45 @@
+#include "policies/item_lfu.hpp"
+
+#include "util/contracts.hpp"
+
+namespace gcaching {
+
+void ItemLfu::attach(const BlockMap& map, CacheContents& cache) {
+  set_attachment(map, cache);
+  order_.clear();
+  key_of_.assign(map.num_items(), Key{});
+  resident_.assign(map.num_items(), false);
+  next_tie_ = 0;
+}
+
+void ItemLfu::on_hit(ItemId item) {
+  GC_CHECK(resident_[item], "LFU hit on untracked item");
+  Key k = key_of_[item];
+  order_.erase(k);
+  ++k.freq;
+  key_of_[item] = k;
+  order_.insert(k);
+}
+
+void ItemLfu::on_miss(ItemId item) {
+  if (cache().full()) {
+    GC_CHECK(!order_.empty(), "full cache but empty LFU order");
+    const Key victim_key = *order_.begin();
+    order_.erase(order_.begin());
+    resident_[victim_key.item] = false;
+    cache().evict(victim_key.item);
+  }
+  cache().load(item);
+  const Key k{1, next_tie_++, item};
+  key_of_[item] = k;
+  resident_[item] = true;
+  order_.insert(k);
+}
+
+void ItemLfu::reset() {
+  order_.clear();
+  resident_.assign(resident_.size(), false);
+  next_tie_ = 0;
+}
+
+}  // namespace gcaching

@@ -1,0 +1,45 @@
+// Item Cache running LFU with FIFO tie-breaking.
+//
+// Frequency-based eviction baseline; O(log k) per operation through an
+// ordered victim set. Frequencies persist while an item is resident and are
+// forgotten on eviction ("in-cache LFU").
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace gcaching {
+
+class ItemLfu final : public ReplacementPolicy {
+ public:
+  ItemLfu() = default;
+
+  void attach(const BlockMap& map, CacheContents& cache) override;
+  void on_hit(ItemId item) override;
+  void on_miss(ItemId item) override;
+  void reset() override;
+  std::string name() const override { return "item-lfu"; }
+
+ private:
+  struct Key {
+    std::uint64_t freq;
+    std::uint64_t tie;  // insertion sequence; older evicted first
+    ItemId item;
+    bool operator<(const Key& o) const {
+      if (freq != o.freq) return freq < o.freq;
+      if (tie != o.tie) return tie < o.tie;
+      return item < o.item;
+    }
+  };
+
+  std::set<Key> order_;                // ascending: begin() = victim
+  std::vector<Key> key_of_;            // item -> its key (valid if resident)
+  std::vector<bool> resident_;
+  std::uint64_t next_tie_ = 0;
+};
+
+}  // namespace gcaching

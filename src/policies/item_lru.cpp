@@ -1,0 +1,27 @@
+#include "policies/item_lru.hpp"
+
+#include <memory>
+
+namespace gcaching {
+
+void ItemLru::attach(const BlockMap& map, CacheContents& cache) {
+  set_attachment(map, cache);
+  lru_ = std::make_unique<IndexedList>(map.num_items());
+}
+
+void ItemLru::on_hit(ItemId item) { lru_->move_to_front(item); }
+
+void ItemLru::on_miss(ItemId item) {
+  if (cache().full()) {
+    const ItemId victim = lru_->pop_back();
+    cache().evict(victim);
+  }
+  cache().load(item);
+  lru_->push_front(item);
+}
+
+void ItemLru::reset() {
+  if (lru_) lru_->clear();
+}
+
+}  // namespace gcaching

@@ -1,0 +1,33 @@
+// Item Cache running LRU — the paper's primary "traditional cache" baseline.
+//
+// An Item Cache (Section 2, "Baseline policies") loads only the requested
+// item on a miss and evicts at item granularity. It exploits temporal
+// locality well but gains nothing from spatial locality: by Theorem 2 its
+// competitive ratio in GC caching is at least B(k-B+1)/(k-h+1).
+#pragma once
+
+#include <string>
+
+#include "core/policy.hpp"
+#include "policies/lru_list.hpp"
+
+namespace gcaching {
+
+class ItemLru final : public ReplacementPolicy {
+ public:
+  ItemLru() = default;
+
+  void attach(const BlockMap& map, CacheContents& cache) override;
+  void on_hit(ItemId item) override;
+  void on_miss(ItemId item) override;
+  void reset() override;
+  std::string name() const override { return "item-lru"; }
+
+  /// Recency order MRU->LRU (for tests).
+  std::vector<ItemId> recency_order() const { return lru_->to_vector(); }
+
+ private:
+  std::unique_ptr<IndexedList> lru_;
+};
+
+}  // namespace gcaching

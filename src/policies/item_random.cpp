@@ -1,0 +1,56 @@
+#include "policies/item_random.hpp"
+
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace gcaching {
+
+void ItemRandom::attach(const BlockMap& map, CacheContents& cache) {
+  set_attachment(map, cache);
+  residents_.clear();
+  residents_.reserve(cache.capacity());
+  slot_of_.assign(map.num_items(), std::numeric_limits<std::uint32_t>::max());
+}
+
+void ItemRandom::on_hit(ItemId /*item*/) {
+  // Random replacement keeps no recency state.
+}
+
+void ItemRandom::on_miss(ItemId item) {
+  if (cache().full()) {
+    const std::size_t idx =
+        static_cast<std::size_t>(rng_.below(residents_.size()));
+    const ItemId victim = residents_[idx];
+    pool_remove(victim);
+    cache().evict(victim);
+  }
+  cache().load(item);
+  pool_add(item);
+}
+
+void ItemRandom::reset() {
+  residents_.clear();
+  slot_of_.assign(slot_of_.size(), std::numeric_limits<std::uint32_t>::max());
+  rng_ = SplitMix64(seed_);
+}
+
+void ItemRandom::pool_add(ItemId item) {
+  GC_CHECK(slot_of_[item] == std::numeric_limits<std::uint32_t>::max(),
+           "item already pooled");
+  slot_of_[item] = static_cast<std::uint32_t>(residents_.size());
+  residents_.push_back(item);
+}
+
+void ItemRandom::pool_remove(ItemId item) {
+  const std::uint32_t slot = slot_of_[item];
+  GC_CHECK(slot != std::numeric_limits<std::uint32_t>::max(),
+           "item not pooled");
+  const ItemId last = residents_.back();
+  residents_[slot] = last;
+  slot_of_[last] = slot;
+  residents_.pop_back();
+  slot_of_[item] = std::numeric_limits<std::uint32_t>::max();
+}
+
+}  // namespace gcaching

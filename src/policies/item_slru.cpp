@@ -1,0 +1,68 @@
+#include "policies/item_slru.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace gcaching {
+
+ItemSlru::ItemSlru(double protected_fraction)
+    : protected_fraction_(protected_fraction) {
+  GC_REQUIRE(protected_fraction >= 0.0 && protected_fraction < 1.0,
+             "protected fraction must be in [0, 1)");
+}
+
+void ItemSlru::attach(const BlockMap& map, CacheContents& cache) {
+  set_attachment(map, cache);
+  protected_cap_ = std::min(
+      cache.capacity() - 1,
+      static_cast<std::size_t>(protected_fraction_ *
+                               static_cast<double>(cache.capacity())));
+  probation_ = std::make_unique<IndexedList>(map.num_items());
+  protected_ = std::make_unique<IndexedList>(map.num_items());
+}
+
+void ItemSlru::on_hit(ItemId item) {
+  if (protected_->contains(item)) {
+    protected_->move_to_front(item);
+    return;
+  }
+  GC_CHECK(probation_->contains(item), "resident item in neither segment");
+  // Promote to the protected segment; demote its LRU tail if over capacity.
+  probation_->remove(item);
+  if (protected_cap_ == 0) {
+    probation_->push_front(item);  // degenerate config: plain LRU
+    return;
+  }
+  if (protected_->size() == protected_cap_) {
+    const ItemId demoted = protected_->pop_back();
+    probation_->push_front(demoted);
+  }
+  protected_->push_front(item);
+}
+
+void ItemSlru::on_miss(ItemId item) {
+  if (cache().full()) {
+    // Victim comes from probation; if it is empty (possible after many
+    // promotions while the cache shrank), fall back to protected LRU.
+    const ItemId victim =
+        !probation_->empty() ? probation_->pop_back() : protected_->pop_back();
+    cache().evict(victim);
+  }
+  cache().load(item);
+  probation_->push_front(item);
+}
+
+void ItemSlru::reset() {
+  if (probation_) probation_->clear();
+  if (protected_) protected_->clear();
+}
+
+std::string ItemSlru::name() const {
+  std::ostringstream os;
+  os << "item-slru(p=" << protected_fraction_ << ")";
+  return os.str();
+}
+
+}  // namespace gcaching

@@ -1,0 +1,143 @@
+// Intrusive recency list over a dense id universe.
+//
+// All LRU-style policies in this library keep their recency order in an
+// `IndexedList`: a doubly-linked list whose nodes are preallocated, indexed
+// by the id itself (item id or block id). Every operation is O(1) with no
+// allocation on the hot path, and membership is an O(1) flag check, which is
+// what makes the simulator fast enough for multi-million-access sweeps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace gcaching {
+
+class IndexedList {
+ public:
+  using Id = std::uint32_t;
+
+  explicit IndexedList(std::size_t universe)
+      : nodes_(universe + 1) {  // last node is the sentinel
+    const Id s = sentinel();
+    nodes_[s].prev = s;
+    nodes_[s].next = s;
+  }
+
+  std::size_t universe() const noexcept { return nodes_.size() - 1; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  bool contains(Id id) const {
+    GC_REQUIRE(id < universe(), "id out of range");
+    return nodes_[id].in_list;
+  }
+
+  /// Most-recently-used end.
+  Id front() const {
+    GC_REQUIRE(!empty(), "front() of empty list");
+    return nodes_[sentinel()].next;
+  }
+
+  /// Least-recently-used end.
+  Id back() const {
+    GC_REQUIRE(!empty(), "back() of empty list");
+    return nodes_[sentinel()].prev;
+  }
+
+  void push_front(Id id) {
+    GC_REQUIRE(id < universe(), "id out of range");
+    GC_REQUIRE(!nodes_[id].in_list, "id already in list");
+    link_after(sentinel(), id);
+    nodes_[id].in_list = true;
+    ++size_;
+  }
+
+  void push_back(Id id) {
+    GC_REQUIRE(id < universe(), "id out of range");
+    GC_REQUIRE(!nodes_[id].in_list, "id already in list");
+    link_after(nodes_[sentinel()].prev, id);
+    nodes_[id].in_list = true;
+    ++size_;
+  }
+
+  void remove(Id id) {
+    GC_REQUIRE(id < universe(), "id out of range");
+    GC_REQUIRE(nodes_[id].in_list, "removing id not in list");
+    unlink(id);
+    nodes_[id].in_list = false;
+    --size_;
+  }
+
+  void move_to_front(Id id) {
+    GC_REQUIRE(nodes_[id].in_list, "move_to_front of id not in list");
+    unlink(id);
+    link_after(sentinel(), id);
+  }
+
+  Id pop_back() {
+    const Id id = back();
+    remove(id);
+    return id;
+  }
+
+  void clear() {
+    // O(universe) — only used between runs, never on the hot path.
+    for (auto& n : nodes_) n = Node{};
+    const Id s = sentinel();
+    nodes_[s].prev = s;
+    nodes_[s].next = s;
+    size_ = 0;
+  }
+
+  /// Snapshot MRU -> LRU (for tests).
+  std::vector<Id> to_vector() const {
+    std::vector<Id> out;
+    out.reserve(size_);
+    for (Id cur = nodes_[sentinel()].next; cur != sentinel();
+         cur = nodes_[cur].next)
+      out.push_back(cur);
+    return out;
+  }
+
+  /// Iterate LRU -> MRU until fn returns false. Used for victim scans that
+  /// must skip ineligible entries (e.g. items of the currently-missed block).
+  template <typename Fn>
+  void for_each_from_lru(Fn&& fn) const {
+    for (Id cur = nodes_[sentinel()].prev; cur != sentinel();) {
+      const Id prev = nodes_[cur].prev;  // fn may remove cur
+      if (!fn(cur)) return;
+      cur = prev;
+    }
+  }
+
+ private:
+  struct Node {
+    Id prev = 0;
+    Id next = 0;
+    bool in_list = false;
+  };
+
+  Id sentinel() const noexcept { return static_cast<Id>(nodes_.size() - 1); }
+
+  void link_after(Id pos, Id id) {
+    Node& n = nodes_[id];
+    n.prev = pos;
+    n.next = nodes_[pos].next;
+    nodes_[n.next].prev = id;
+    nodes_[pos].next = id;
+  }
+
+  void unlink(Id id) {
+    Node& n = nodes_[id];
+    nodes_[n.prev].next = n.next;
+    nodes_[n.next].prev = n.prev;
+  }
+
+  std::vector<Node> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gcaching

@@ -1,0 +1,42 @@
+#include "sim/replicate.hpp"
+
+#include <algorithm>
+
+#include "core/simulator.hpp"
+#include "policies/factory.hpp"
+#include "sim/thread_pool.hpp"
+#include "util/contracts.hpp"
+
+namespace gcaching::sim {
+
+double Replication::min() const {
+  GC_REQUIRE(!samples.empty(), "no samples");
+  return *std::min_element(samples.begin(), samples.end());
+}
+
+double Replication::max() const {
+  GC_REQUIRE(!samples.empty(), "no samples");
+  return *std::max_element(samples.begin(), samples.end());
+}
+
+Replication replicate(
+    const std::function<Workload(std::uint64_t seed)>& make_workload,
+    const std::string& policy_spec, std::size_t capacity,
+    const std::function<double(const SimStats&)>& metric,
+    std::size_t replicas, std::uint64_t seed_base, std::size_t threads) {
+  GC_REQUIRE(replicas >= 1, "need at least one replica");
+  Replication out;
+  out.samples.assign(replicas, 0.0);
+  ThreadPool pool(threads);
+  pool.parallel_for(replicas, [&](std::size_t r) {
+    const Workload w = make_workload(seed_base + r);
+    auto policy = make_policy(policy_spec, capacity);
+    const SimStats stats = simulate(w, *policy, capacity);
+    out.samples[r] = metric(stats);
+  });
+  return out;
+}
+
+double miss_rate_metric(const SimStats& stats) { return stats.miss_rate(); }
+
+}  // namespace gcaching::sim

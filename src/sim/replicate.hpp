@@ -1,0 +1,56 @@
+// Seed replication: mean/stddev of simulation metrics across independent
+// workload instances.
+//
+// Stochastic generators and randomized policies make single-run numbers
+// anecdotal; `replicate` re-generates the workload under R seeds (in
+// parallel) and aggregates, so benches can report mean ± stddev and tests
+// can assert that qualitative claims are stable, not lucky.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/trace.hpp"
+
+namespace gcaching::sim {
+
+struct Replication {
+  std::vector<double> samples;  ///< one metric value per seed
+
+  double mean() const {
+    if (samples.empty()) return 0.0;
+    double s = 0;
+    for (double v : samples) s += v;
+    return s / static_cast<double>(samples.size());
+  }
+  double stddev() const {
+    if (samples.size() < 2) return 0.0;
+    const double m = mean();
+    double s = 0;
+    for (double v : samples) s += (v - m) * (v - m);
+    return std::sqrt(s / static_cast<double>(samples.size() - 1));
+  }
+  double min() const;
+  double max() const;
+};
+
+/// Generates a workload per seed via `make_workload(seed)`, simulates
+/// `policy_spec` at `capacity`, and collects `metric(stats)` per seed.
+/// Seeds are `seed_base .. seed_base + replicas - 1`. Runs on a thread
+/// pool (`threads` = 0 -> hardware concurrency); results are ordered by
+/// seed and independent of thread count.
+Replication replicate(
+    const std::function<Workload(std::uint64_t seed)>& make_workload,
+    const std::string& policy_spec, std::size_t capacity,
+    const std::function<double(const SimStats&)>& metric,
+    std::size_t replicas, std::uint64_t seed_base = 1,
+    std::size_t threads = 0);
+
+/// Common metric: miss rate.
+double miss_rate_metric(const SimStats& stats);
+
+}  // namespace gcaching::sim

@@ -1,0 +1,39 @@
+#include "sim/runner.hpp"
+
+#include "core/simulator.hpp"
+#include "policies/factory.hpp"
+#include "sim/thread_pool.hpp"
+#include "util/contracts.hpp"
+
+namespace gcaching::sim {
+
+std::vector<SweepCell> run_sweep(const SweepSpec& spec) {
+  GC_REQUIRE(spec.workloads != nullptr, "sweep needs workloads");
+  GC_REQUIRE(!spec.policy_specs.empty(), "sweep needs at least one policy");
+  GC_REQUIRE(!spec.capacities.empty(), "sweep needs at least one capacity");
+
+  const std::size_t nw = spec.workloads->size();
+  const std::size_t np = spec.policy_specs.size();
+  const std::size_t nc = spec.capacities.size();
+  std::vector<SweepCell> cells(nw * np * nc);
+  for (std::size_t w = 0; w < nw; ++w)
+    for (std::size_t p = 0; p < np; ++p)
+      for (std::size_t c = 0; c < nc; ++c) {
+        SweepCell& cell = cells[(w * np + p) * nc + c];
+        cell.workload_index = w;
+        cell.policy_index = p;
+        cell.capacity = spec.capacities[c];
+      }
+
+  ThreadPool pool(spec.threads);
+  pool.parallel_for(cells.size(), [&](std::size_t idx) {
+    SweepCell& cell = cells[idx];
+    const Workload& workload = (*spec.workloads)[cell.workload_index];
+    auto policy =
+        make_policy(spec.policy_specs[cell.policy_index], cell.capacity);
+    cell.stats = simulate(workload, *policy, cell.capacity);
+  });
+  return cells;
+}
+
+}  // namespace gcaching::sim

@@ -1,0 +1,40 @@
+// Declarative sweep runner: (workload, policy spec, capacity) grid ->
+// per-cell SimStats, evaluated in parallel.
+//
+// Policies are constructed fresh per cell from their factory spec, so cells
+// are fully independent and the sweep parallelizes trivially. Workloads are
+// shared read-only (BlockMap and Trace are immutable after construction).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/trace.hpp"
+
+namespace gcaching::sim {
+
+struct SweepCell {
+  std::size_t workload_index = 0;
+  std::size_t policy_index = 0;
+  std::size_t capacity = 0;
+  SimStats stats;
+};
+
+struct SweepSpec {
+  /// Workloads under test (read-only; shared across cells).
+  const std::vector<Workload>* workloads = nullptr;
+  /// Policy factory specs (see policies/factory.hpp).
+  std::vector<std::string> policy_specs;
+  /// Cache capacities; the full cross product is evaluated.
+  std::vector<std::size_t> capacities;
+  /// 0 = hardware concurrency.
+  std::size_t threads = 0;
+};
+
+/// Runs the full cross product and returns cells in deterministic
+/// (workload, policy, capacity) row-major order.
+std::vector<SweepCell> run_sweep(const SweepSpec& spec);
+
+}  // namespace gcaching::sim

@@ -1,0 +1,46 @@
+// Importing real address traces.
+//
+// Storage/architecture trace formats (MSR-Cambridge, SNIA block traces,
+// pin-tool dumps) reduce to (address, size) records. This importer turns
+// them into GC workloads:
+//   * addresses are split into items of `item_bytes`;
+//   * a record of `size` bytes touches ceil(size / item_bytes) consecutive
+//     items (one access each, in order);
+//   * items are grouped into blocks of `block_items` by address — the
+//     hardware's natural layout;
+//   * the sparse address space is re-mapped to dense ids in first-touch
+//     order, preserving intra-block adjacency.
+//
+// Accepted text format: one record per line,
+//     <address> [size_bytes]
+// with optional leading fields skipped via `skip_fields` (so
+// "timestamp,host,disk,address,size,..." CSVs work by setting the
+// delimiter and field positions). '#' lines are comments.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/trace.hpp"
+
+namespace gcaching::traces {
+
+struct AddressTraceFormat {
+  char delimiter = ' ';          ///< field separator (',' for CSVs)
+  std::size_t address_field = 0; ///< 0-based index of the address column
+  std::size_t size_field = 1;    ///< index of the size column (optional)
+  bool has_size = true;          ///< false: every record touches one item
+  std::size_t item_bytes = 64;   ///< cache-line size
+  std::size_t block_items = 32;  ///< items per block (e.g. a 2 KB row)
+};
+
+/// Parse an address trace from a stream. Throws std::runtime_error on
+/// malformed records.
+Workload load_address_trace(std::istream& is, const AddressTraceFormat& fmt);
+
+/// File-path convenience wrapper.
+Workload load_address_trace_file(const std::string& path,
+                                 const AddressTraceFormat& fmt);
+
+}  // namespace gcaching::traces

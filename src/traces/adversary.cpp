@@ -1,0 +1,253 @@
+#include "traces/adversary.hpp"
+
+#include <unordered_set>
+
+#include "core/simulator.hpp"
+#include "policies/lru_list.hpp"
+#include "util/contracts.hpp"
+#include "util/mathx.hpp"
+
+namespace gcaching::traces {
+
+namespace {
+
+/// Shared adversary machinery: drives the simulation, captures the trace,
+/// tracks access recency (for choosing the "items in the optimal cache"
+/// candidate sets), and hands out never-before-seen blocks.
+class Harness {
+ public:
+  Harness(ReplacementPolicy& policy, const AdversaryOptions& opts,
+          std::size_t universe_blocks)
+      : opts_(opts),
+        map_(make_uniform_blocks(universe_blocks * opts.B, opts.B)),
+        sim_(*map_, policy, opts.k),
+        recency_(map_->num_items()) {
+    GC_REQUIRE(opts.h >= 1 && opts.h <= opts.k, "requires 1 <= h <= k");
+    GC_REQUIRE(opts.B >= 1, "requires B >= 1");
+    trace_.reserve(opts.phases * (opts.k + opts.h));
+  }
+
+  void access(ItemId item) {
+    sim_.access(item);
+    trace_.push(item);
+    if (recency_.contains(item))
+      recency_.move_to_front(item);
+    else
+      recency_.push_front(item);
+  }
+
+  /// Allocates the next never-accessed block.
+  BlockId fresh_block() {
+    GC_REQUIRE(next_block_ < map_->num_blocks(), "universe exhausted");
+    return next_block_++;
+  }
+
+  bool absent(ItemId item) const { return !sim_.cache().contains(item); }
+
+  /// The h most-recently-accessed distinct items (proof step 3's "items in
+  /// the optimal cache during step one" proxy).
+  std::vector<ItemId> recent_items(std::size_t count) const {
+    std::vector<ItemId> out;
+    const auto order = recency_.to_vector();
+    for (ItemId it : order) {
+      out.push_back(it);
+      if (out.size() == count) break;
+    }
+    return out;
+  }
+
+  /// Most-recent items from `count` distinct blocks (Theorem 3 needs each
+  /// candidate in a different block).
+  std::vector<ItemId> recent_items_distinct_blocks(std::size_t count) const {
+    std::vector<ItemId> out;
+    std::unordered_set<BlockId> used;
+    const auto order = recency_.to_vector();
+    for (ItemId it : order) {
+      const BlockId b = map_->block_of(it);
+      if (used.insert(b).second) {
+        out.push_back(it);
+        if (out.size() == count) break;
+      }
+    }
+    return out;
+  }
+
+  /// Step 4: request an item from `candidates` that the online cache does
+  /// not hold; if the policy managed to keep all of them (possible when it
+  /// is not of the class the construction targets), request the first one.
+  void absent_request(const std::vector<ItemId>& candidates) {
+    for (ItemId it : candidates) {
+      if (absent(it)) {
+        access(it);
+        return;
+      }
+    }
+    GC_REQUIRE(!candidates.empty(), "no candidates for step 4");
+    access(candidates.front());
+  }
+
+  /// Warmup: k fresh-item accesses so the online cache is (approximately)
+  /// full. Returns the prescribed OPT cost (one per block touched).
+  std::uint64_t warmup() {
+    std::uint64_t opt = 0;
+    std::size_t accessed = 0;
+    while (accessed < opts_.k) {
+      const BlockId blk = fresh_block();
+      ++opt;
+      for (ItemId it : map_->items_of(blk)) {
+        access(it);
+        if (++accessed == opts_.k) break;
+      }
+    }
+    return opt;
+  }
+
+  AdversaryResult finish(std::uint64_t opt_total, std::uint64_t opt_steady,
+                         std::uint64_t warmup_misses,
+                         std::uint64_t max_a = 0) {
+    AdversaryResult res;
+    res.workload.map = map_;
+    res.workload.trace = std::move(trace_);
+    res.online = sim_.stats();
+    res.online_steady_misses = res.online.misses - warmup_misses;
+    res.opt_misses = opt_total;
+    res.opt_steady_misses = opt_steady;
+    res.max_observed_a = max_a;
+    return res;
+  }
+
+  const AdversaryOptions& opts() const { return opts_; }
+  const BlockMap& map() const { return *map_; }
+  const Simulation& sim() const { return sim_; }
+  std::uint64_t online_misses() const { return sim_.stats().misses; }
+
+ private:
+  AdversaryOptions opts_;
+  std::shared_ptr<BlockMap> map_;
+  Simulation sim_;
+  IndexedList recency_;
+  Trace trace_;
+  BlockId next_block_ = 0;
+};
+
+}  // namespace
+
+AdversaryResult run_item_adversary(ReplacementPolicy& policy,
+                                   const AdversaryOptions& opts) {
+  GC_REQUIRE(opts.B <= opts.h, "Theorem 2 needs h >= B");
+  GC_REQUIRE(opts.k >= opts.h, "requires k >= h");
+  const std::size_t step2_accesses = opts.k - opts.h + 1;
+  const std::size_t blocks_per_phase = ceil_div(step2_accesses, opts.B);
+  const std::size_t universe_blocks =
+      ceil_div(opts.k, opts.B) + 1 + opts.phases * blocks_per_phase + 2;
+
+  Harness hx(policy, opts, universe_blocks);
+  std::uint64_t opt = hx.warmup();
+  const std::uint64_t warmup_misses = hx.online_misses();
+  std::uint64_t opt_steady = 0;
+
+  for (std::size_t phase = 0; phase < opts.phases; ++phase) {
+    // Step 3 candidates part 1: the h most recent items (OPT's contents).
+    std::vector<ItemId> candidates = hx.recent_items(opts.h);
+    // Step 2: whole fresh blocks, item by item, k-h+1 accesses.
+    std::size_t accessed = 0;
+    while (accessed < step2_accesses) {
+      const BlockId blk = hx.fresh_block();
+      ++opt;
+      ++opt_steady;
+      for (ItemId it : hx.map().items_of(blk)) {
+        hx.access(it);
+        candidates.push_back(it);
+        if (++accessed == step2_accesses) break;
+      }
+    }
+    // Step 4: h-B requests to items absent from the online cache.
+    for (std::size_t j = 0; j + opts.B < opts.h; ++j)
+      hx.absent_request(candidates);
+  }
+  return hx.finish(opt, opt_steady, warmup_misses);
+}
+
+AdversaryResult run_block_adversary(ReplacementPolicy& policy,
+                                    const AdversaryOptions& opts) {
+  const std::size_t blocks_in_cache = ceil_div(opts.k, opts.B);
+  GC_REQUIRE(opts.h <= blocks_in_cache, "Theorem 3 needs h <= ceil(k/B)");
+  const std::size_t blocks_per_phase = blocks_in_cache - opts.h + 1;
+  const std::size_t universe_blocks =
+      ceil_div(opts.k, opts.B) + 1 + opts.phases * blocks_per_phase + 2;
+
+  Harness hx(policy, opts, universe_blocks);
+  std::uint64_t opt = hx.warmup();
+  const std::uint64_t warmup_misses = hx.online_misses();
+  std::uint64_t opt_steady = 0;
+
+  for (std::size_t phase = 0; phase < opts.phases; ++phase) {
+    // Candidates part 1: h recent items from distinct blocks.
+    std::vector<ItemId> candidates =
+        hx.recent_items_distinct_blocks(opts.h);
+    // Step 2: one item from each fresh block.
+    for (std::size_t j = 0; j < blocks_per_phase; ++j) {
+      const BlockId blk = hx.fresh_block();
+      const ItemId first = hx.map().items_of(blk).front();
+      hx.access(first);
+      candidates.push_back(first);
+      ++opt;
+      ++opt_steady;
+    }
+    // Step 4: h-1 absent requests.
+    for (std::size_t j = 0; j + 1 < opts.h; ++j)
+      hx.absent_request(candidates);
+  }
+  return hx.finish(opt, opt_steady, warmup_misses);
+}
+
+AdversaryResult run_general_adversary(ReplacementPolicy& policy,
+                                      const AdversaryOptions& opts) {
+  GC_REQUIRE(opts.k >= opts.h, "requires k >= h");
+  const std::size_t step2_accesses = opts.k - opts.h + 1;
+  const std::size_t blocks_per_phase = ceil_div(step2_accesses, opts.B);
+  const std::size_t universe_blocks =
+      ceil_div(opts.k, opts.B) + 1 + opts.phases * blocks_per_phase + 2;
+
+  Harness hx(policy, opts, universe_blocks);
+  std::uint64_t opt = hx.warmup();
+  const std::uint64_t warmup_misses = hx.online_misses();
+  std::uint64_t opt_steady = 0;
+  std::uint64_t max_a_overall = 0;
+
+  for (std::size_t phase = 0; phase < opts.phases; ++phase) {
+    std::vector<ItemId> candidates = hx.recent_items(opts.h);
+    std::size_t max_a = 1;
+    // Step 2: for each fresh block, keep requesting items the online cache
+    // has not loaded; stop when the whole block is resident.
+    for (std::size_t j = 0; j < blocks_per_phase; ++j) {
+      const BlockId blk = hx.fresh_block();
+      ++opt;
+      ++opt_steady;
+      std::size_t a_here = 0;
+      for (;;) {
+        ItemId target = kInvalidItem;
+        for (ItemId it : hx.map().items_of(blk)) {
+          if (hx.absent(it)) {
+            target = it;
+            break;
+          }
+        }
+        if (target == kInvalidItem) break;  // whole block loaded
+        hx.access(target);
+        if (++a_here >= opts.B) break;  // at most B distinct items exist
+      }
+      // Step 3's candidate set contains *all* items of the step-2 blocks
+      // (accessed or side-loaded), not just the requested ones.
+      for (ItemId it : hx.map().items_of(blk)) candidates.push_back(it);
+      max_a = std::max(max_a, a_here);
+    }
+    max_a_overall = std::max<std::uint64_t>(max_a_overall, max_a);
+    // Step 4: h - a absent requests (OPT reserves a slots for step 2).
+    for (std::size_t j = 0; j + max_a < opts.h; ++j)
+      hx.absent_request(candidates);
+  }
+  return hx.finish(opt, opt_steady, warmup_misses, max_a_overall);
+}
+
+}  // namespace gcaching::traces

@@ -1,0 +1,69 @@
+#include "traces/compose.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace gcaching::traces {
+
+namespace {
+
+void require_same_map(const Workload& a, const Workload& b) {
+  GC_REQUIRE(a.map != nullptr && b.map != nullptr, "workloads need maps");
+  GC_REQUIRE(a.map == b.map, "composition requires a shared BlockMap");
+}
+
+}  // namespace
+
+Workload interleave(const Workload& a, const Workload& b,
+                    std::size_t chunk_a, std::size_t chunk_b) {
+  require_same_map(a, b);
+  GC_REQUIRE(chunk_a >= 1 && chunk_b >= 1, "chunks must be positive");
+  Workload out;
+  out.map = a.map;
+  out.name = "interleave(" + a.name + " x" + std::to_string(chunk_a) + ", " +
+             b.name + " x" + std::to_string(chunk_b) + ")";
+  out.trace.reserve(a.trace.size() + b.trace.size());
+  std::size_t pa = 0, pb = 0;
+  while (pa < a.trace.size() || pb < b.trace.size()) {
+    for (std::size_t j = 0; j < chunk_a && pa < a.trace.size(); ++j)
+      out.trace.push(a.trace[pa++]);
+    for (std::size_t j = 0; j < chunk_b && pb < b.trace.size(); ++j)
+      out.trace.push(b.trace[pb++]);
+  }
+  return out;
+}
+
+Workload concat(const Workload& a, const Workload& b) {
+  require_same_map(a, b);
+  Workload out;
+  out.map = a.map;
+  out.name = "concat(" + a.name + ", " + b.name + ")";
+  out.trace = a.trace;
+  out.trace.append(b.trace);
+  return out;
+}
+
+Workload repeat(const Workload& w, std::size_t times) {
+  GC_REQUIRE(w.map != nullptr, "workload needs a map");
+  GC_REQUIRE(times >= 1, "repeat count must be positive");
+  Workload out;
+  out.map = w.map;
+  out.name = "repeat(" + w.name + ", x" + std::to_string(times) + ")";
+  out.trace.reserve(w.trace.size() * times);
+  for (std::size_t r = 0; r < times; ++r) out.trace.append(w.trace);
+  return out;
+}
+
+Workload truncate(const Workload& w, std::size_t length) {
+  GC_REQUIRE(w.map != nullptr, "workload needs a map");
+  Workload out;
+  out.map = w.map;
+  out.name = "truncate(" + w.name + ", " + std::to_string(length) + ")";
+  const std::size_t n = std::min(length, w.trace.size());
+  out.trace.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) out.trace.push(w.trace[p]);
+  return out;
+}
+
+}  // namespace gcaching::traces

@@ -1,0 +1,28 @@
+// Workload composition: build complex traces out of simple ones.
+//
+// All operands must share one BlockMap (same universe and partition);
+// composition never remaps ids, so provenance stays legible.
+#pragma once
+
+#include <cstddef>
+
+#include "core/trace.hpp"
+
+namespace gcaching::traces {
+
+/// Round-robin interleave: take `chunk_a` accesses from `a`, then `chunk_b`
+/// from `b`, repeating until both traces are exhausted (a shorter trace
+/// simply stops contributing).
+Workload interleave(const Workload& a, const Workload& b,
+                    std::size_t chunk_a = 1, std::size_t chunk_b = 1);
+
+/// a's trace followed by b's (phase change).
+Workload concat(const Workload& a, const Workload& b);
+
+/// The workload's trace repeated `times` times (looping workloads).
+Workload repeat(const Workload& w, std::size_t times);
+
+/// First `length` accesses of the workload.
+Workload truncate(const Workload& w, std::size_t length);
+
+}  // namespace gcaching::traces

@@ -1,0 +1,143 @@
+#include "traces/layout.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace gcaching::traces {
+
+std::shared_ptr<BlockMap> random_layout(std::size_t num_items,
+                                        std::size_t block_size,
+                                        std::uint64_t seed) {
+  GC_REQUIRE(num_items >= 1 && block_size >= 1, "invalid layout geometry");
+  std::vector<ItemId> ids(num_items);
+  for (std::size_t j = 0; j < num_items; ++j)
+    ids[j] = static_cast<ItemId>(j);
+  SplitMix64 rng(seed);
+  for (std::size_t j = num_items; j > 1; --j)
+    std::swap(ids[j - 1], ids[rng.below(j)]);
+  std::vector<std::vector<ItemId>> blocks;
+  for (std::size_t j = 0; j < num_items; j += block_size)
+    blocks.emplace_back(ids.begin() + static_cast<std::ptrdiff_t>(j),
+                        ids.begin() + static_cast<std::ptrdiff_t>(
+                                          std::min(j + block_size,
+                                                   num_items)));
+  return std::make_shared<ExplicitBlockMap>(std::move(blocks));
+}
+
+std::shared_ptr<BlockMap> affinity_layout(const Trace& trace,
+                                          std::size_t num_items,
+                                          std::size_t block_size,
+                                          std::size_t window) {
+  GC_REQUIRE(num_items >= 1 && block_size >= 1, "invalid layout geometry");
+  GC_REQUIRE(window >= 1, "window must be positive");
+
+  // 1. Count pair affinities within the window (unordered pairs).
+  std::unordered_map<std::uint64_t, std::uint64_t> affinity;
+  const auto key = [](ItemId a, ItemId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  };
+  for (std::size_t p = 0; p < trace.size(); ++p) {
+    const std::size_t end = std::min(trace.size(), p + window + 1);
+    for (std::size_t q = p + 1; q < end; ++q) {
+      if (trace[p] == trace[q]) continue;
+      ++affinity[key(trace[p], trace[q])];
+    }
+  }
+
+  // 2. Sort edges by descending affinity (stable tie-break by key so the
+  //    layout is deterministic).
+  struct Edge {
+    std::uint64_t count;
+    std::uint64_t pair;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(affinity.size());
+  for (const auto& [pair, count] : affinity) edges.push_back({count, pair});
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.pair < b.pair;
+  });
+
+  // 3. Union-find agglomeration with a block-size cap.
+  std::vector<ItemId> parent(num_items);
+  std::vector<std::uint32_t> size(num_items, 1);
+  for (std::size_t j = 0; j < num_items; ++j)
+    parent[j] = static_cast<ItemId>(j);
+  std::function<ItemId(ItemId)> find = [&](ItemId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Edge& e : edges) {
+    const ItemId a = find(static_cast<ItemId>(e.pair >> 32));
+    const ItemId b = find(static_cast<ItemId>(e.pair & 0xffffffffu));
+    if (a == b) continue;
+    if (size[a] + size[b] > block_size) continue;
+    parent[b] = a;
+    size[a] += size[b];
+  }
+
+  // 4. Emit clusters as blocks; pack sub-capacity clusters together
+  //    (first-fit over still-open blocks) so the block count stays near
+  //    num_items / block_size. Open blocks are tracked explicitly so the
+  //    common singleton-heavy case packs in near-linear time.
+  std::unordered_map<ItemId, std::size_t> block_of_root;
+  std::vector<std::vector<ItemId>> blocks;
+  std::vector<std::size_t> reserved;  // committed cluster size per block
+  std::vector<std::size_t> open;      // indices with reserved < block_size
+  for (std::size_t j = 0; j < num_items; ++j) {
+    const ItemId root = find(static_cast<ItemId>(j));
+    const auto it = block_of_root.find(root);
+    if (it != block_of_root.end()) {
+      blocks[it->second].push_back(static_cast<ItemId>(j));
+      continue;
+    }
+    std::size_t target = ~std::size_t{0};
+    for (std::size_t o = 0; o < open.size(); ++o) {
+      const std::size_t bidx = open[o];
+      if (reserved[bidx] + size[root] <= block_size) {
+        target = bidx;
+        break;
+      }
+    }
+    if (target == ~std::size_t{0}) {
+      target = blocks.size();
+      blocks.emplace_back();
+      reserved.push_back(0);
+      open.push_back(target);
+    }
+    block_of_root[root] = target;
+    reserved[target] += size[root];
+    blocks[target].push_back(static_cast<ItemId>(j));
+    if (reserved[target] == block_size) {
+      const auto pos = std::find(open.begin(), open.end(), target);
+      if (pos != open.end()) {
+        *pos = open.back();
+        open.pop_back();
+      }
+    }
+  }
+  return std::make_shared<ExplicitBlockMap>(std::move(blocks));
+}
+
+Workload with_layout(const Workload& workload,
+                     std::shared_ptr<BlockMap> map, std::string label) {
+  GC_REQUIRE(map != nullptr, "layout needs a map");
+  GC_REQUIRE(map->num_items() >= workload.map->num_items(),
+             "new layout must cover the workload's universe");
+  Workload out;
+  out.map = std::move(map);
+  out.trace = workload.trace;
+  out.name = workload.name + " [" + std::move(label) + "]";
+  return out;
+}
+
+}  // namespace gcaching::traces

@@ -1,0 +1,42 @@
+// Item-to-block layout: the other half of spatial locality.
+//
+// GC caching exploits spatial locality that the *data layout* creates; the
+// paper's related work (cache-conscious placement — Calder et al., Chilimbi
+// et al., Petrank & Rawitz) is about creating it. This module closes the
+// loop: given an access trace, re-assign items to blocks and measure how
+// much a GC-aware cache gains or loses.
+//
+//   * `random_layout`   — a worst-ish case: co-accessed items scattered.
+//   * `affinity_layout` — greedy co-access clustering: count adjacent-pair
+//     affinities within a small window, then agglomerate items into blocks
+//     of at most B by descending affinity (union-find; Petrank & Rawitz
+//     show optimal placement is hard, so greedy is the honest baseline).
+//   * `with_layout`     — the same trace viewed under a different map.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/trace.hpp"
+
+namespace gcaching::traces {
+
+/// Uniformly random partition of `num_items` into blocks of exactly
+/// `block_size` (last block may be smaller).
+std::shared_ptr<BlockMap> random_layout(std::size_t num_items,
+                                        std::size_t block_size,
+                                        std::uint64_t seed);
+
+/// Greedy affinity clustering: affinities are counted between items
+/// appearing within `window` accesses of each other; clusters merge in
+/// descending affinity order while both fit in one block.
+std::shared_ptr<BlockMap> affinity_layout(const Trace& trace,
+                                          std::size_t num_items,
+                                          std::size_t block_size,
+                                          std::size_t window = 2);
+
+/// The workload's trace under a different item-to-block map.
+Workload with_layout(const Workload& workload,
+                     std::shared_ptr<BlockMap> map, std::string label);
+
+}  // namespace gcaching::traces

@@ -1,0 +1,51 @@
+// Traces for the locality-of-reference model (Section 7).
+//
+// Two kinds:
+//   * `run_locality_adversary` — the Theorem 8 lower-bound construction,
+//     executed adaptively against a live policy: k+1 items in as few blocks
+//     as g allows, phases of f^{-1}(k+1)-2 accesses split into k-1
+//     repetitions whose boundaries follow f, each repetition pinned to an
+//     item the online cache is missing (subject to the phase's block
+//     budget g(p)).
+//   * `stack_distance_workload` — a *non-adaptive* stochastic generator
+//     whose measured f(n) approximates a power law c n^{1/p} and whose
+//     spatial-locality ratio f/g approximates `gamma`, for empirically
+//     validating the Theorem 9-11 upper bounds. The profile is meant to be
+//     *measured* afterwards (locality/window_profile.hpp), not assumed.
+#pragma once
+
+#include <cstdint>
+
+#include "bounds/locality_bounds.hpp"
+#include "core/policy.hpp"
+#include "core/stats.hpp"
+#include "core/trace.hpp"
+
+namespace gcaching::traces {
+
+struct LocalityAdversaryResult {
+  Workload workload;
+  SimStats online;
+  std::size_t warmup_length = 0;  ///< leading accesses not f-consistent
+  double fault_rate = 0.0;     ///< online misses / accesses (post warmup)
+  double bound = 0.0;          ///< Theorem 8 lower bound for comparison
+};
+
+/// Runs the Theorem 8 construction against `policy` with cache size k and
+/// locality functions f, g (g also determines the number of blocks used).
+/// `phases` phases are generated after a warmup pass over the k+1 items.
+LocalityAdversaryResult run_locality_adversary(
+    ReplacementPolicy& policy, std::size_t k, std::size_t B,
+    const bounds::LocalityFunction& f, const bounds::LocalityFunction& g,
+    std::size_t phases);
+
+/// Stochastic trace whose LRU stack-distance tail is a power law chosen so
+/// the working set grows like n^{1/p}; block structure is visited so that
+/// roughly `gamma` distinct items of a block are touched per block episode
+/// (f/g ~ gamma). Measure the real profile with compute_profile().
+Workload stack_distance_workload(std::size_t num_blocks,
+                                 std::size_t block_size, double p,
+                                 double gamma, std::size_t length,
+                                 std::uint64_t seed);
+
+}  // namespace gcaching::traces

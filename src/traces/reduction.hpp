@@ -1,0 +1,31 @@
+// The Theorem 1 reduction: variable-size caching -> GC caching.
+//
+// For each variable-size item v of (integral) size z_v, create one block
+// whose *active set* is z_v items (block capacity B >= max z). Each access
+// to v becomes z_v round-robin passes over the active set (z_v^2 accesses):
+// the repetition forces any optimal schedule to load and evict active sets
+// atomically, so the optimal GC cost equals the optimal variable-size fault
+// count (Figure 2). The GC cache size equals the variable-size capacity.
+#pragma once
+
+#include <vector>
+
+#include "core/trace.hpp"
+#include "vscache/vs_instance.hpp"
+
+namespace gcaching::traces {
+
+struct ReducedInstance {
+  Workload workload;          ///< GC workload produced by the reduction
+  std::size_t capacity = 0;   ///< GC cache size (== vs capacity)
+  /// vs item v's active set is block `block_of_vs_item[v]` of workload.map.
+  std::vector<BlockId> block_of_vs_item;
+};
+
+/// Builds the GC instance of Theorem 1. `block_capacity` must be >= the
+/// largest item size (0 = use exactly that maximum).
+ReducedInstance reduce_vs_to_gc(const vscache::VsInstance& instance,
+                                const vscache::VsTrace& trace,
+                                std::size_t block_capacity = 0);
+
+}  // namespace gcaching::traces

@@ -1,0 +1,214 @@
+#include "traces/synthetic.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace gcaching::traces {
+
+namespace {
+
+Workload make_workload(std::size_t num_items, std::size_t block_size,
+                       std::string name) {
+  Workload w;
+  w.map = make_uniform_blocks(num_items, block_size);
+  w.name = std::move(name);
+  return w;
+}
+
+}  // namespace
+
+Workload zipf_items(std::size_t num_items, std::size_t block_size,
+                    std::size_t length, double theta, std::uint64_t seed) {
+  std::ostringstream nm;
+  nm << "zipf-items(n=" << num_items << ",B=" << block_size
+     << ",theta=" << theta << ")";
+  Workload w = make_workload(num_items, block_size, nm.str());
+  SplitMix64 rng(seed);
+  ZipfSampler zipf(num_items, theta);
+  w.trace.reserve(length);
+  for (std::size_t t = 0; t < length; ++t)
+    w.trace.push(static_cast<ItemId>(zipf(rng)));
+  return w;
+}
+
+Workload zipf_blocks(std::size_t num_blocks, std::size_t block_size,
+                     std::size_t length, double theta, std::size_t span,
+                     std::uint64_t seed) {
+  GC_REQUIRE(span >= 1 && span <= block_size, "span must be in [1, B]");
+  std::ostringstream nm;
+  nm << "zipf-blocks(m=" << num_blocks << ",B=" << block_size
+     << ",theta=" << theta << ",span=" << span << ")";
+  Workload w =
+      make_workload(num_blocks * block_size, block_size, nm.str());
+  SplitMix64 rng(seed);
+  ZipfSampler zipf(num_blocks, theta);
+  w.trace.reserve(length);
+  while (w.trace.size() < length) {
+    const auto block = static_cast<std::size_t>(zipf(rng));
+    const std::size_t offset =
+        span == block_size ? 0
+                           : static_cast<std::size_t>(
+                                 rng.below(block_size - span + 1));
+    for (std::size_t j = 0; j < span && w.trace.size() < length; ++j)
+      w.trace.push(static_cast<ItemId>(block * block_size + offset + j));
+  }
+  return w;
+}
+
+Workload sequential_scan(std::size_t num_items, std::size_t block_size,
+                         std::size_t length) {
+  std::ostringstream nm;
+  nm << "seq-scan(n=" << num_items << ",B=" << block_size << ")";
+  Workload w = make_workload(num_items, block_size, nm.str());
+  w.trace.reserve(length);
+  for (std::size_t t = 0; t < length; ++t)
+    w.trace.push(static_cast<ItemId>(t % num_items));
+  return w;
+}
+
+Workload strided_scan(std::size_t num_items, std::size_t block_size,
+                      std::size_t length, std::size_t stride) {
+  GC_REQUIRE(stride >= 1, "stride must be positive");
+  std::ostringstream nm;
+  nm << "strided-scan(n=" << num_items << ",B=" << block_size
+     << ",stride=" << stride << ")";
+  Workload w = make_workload(num_items, block_size, nm.str());
+  w.trace.reserve(length);
+  std::size_t cursor = 0;
+  for (std::size_t t = 0; t < length; ++t) {
+    w.trace.push(static_cast<ItemId>(cursor));
+    cursor = (cursor + stride) % num_items;
+  }
+  return w;
+}
+
+Workload working_set_phases(std::size_t num_items, std::size_t block_size,
+                            std::size_t length, std::size_t working_set,
+                            std::size_t phase_length, std::uint64_t seed) {
+  GC_REQUIRE(working_set >= 1 && working_set <= num_items,
+             "working set must fit the universe");
+  GC_REQUIRE(phase_length >= 1, "phase length must be positive");
+  std::ostringstream nm;
+  nm << "ws-phases(n=" << num_items << ",B=" << block_size
+     << ",ws=" << working_set << ",phase=" << phase_length << ")";
+  Workload w = make_workload(num_items, block_size, nm.str());
+  SplitMix64 rng(seed);
+  w.trace.reserve(length);
+  std::vector<ItemId> ws(working_set);
+  std::size_t in_phase = phase_length;  // force initial draw
+  while (w.trace.size() < length) {
+    if (in_phase == phase_length) {
+      for (auto& it : ws)
+        it = static_cast<ItemId>(rng.below(num_items));
+      in_phase = 0;
+    }
+    w.trace.push(ws[rng.below(ws.size())]);
+    ++in_phase;
+  }
+  return w;
+}
+
+Workload hot_item_per_block(std::size_t num_blocks, std::size_t block_size,
+                            std::size_t length, std::size_t hot_blocks,
+                            double cold_fraction, std::uint64_t seed) {
+  GC_REQUIRE(hot_blocks >= 1 && hot_blocks <= num_blocks,
+             "hot blocks must fit the universe");
+  GC_REQUIRE(cold_fraction >= 0.0 && cold_fraction <= 1.0,
+             "cold fraction must be a probability");
+  std::ostringstream nm;
+  nm << "hot-item-per-block(m=" << num_blocks << ",B=" << block_size
+     << ",hot=" << hot_blocks << ",cold=" << cold_fraction << ")";
+  Workload w =
+      make_workload(num_blocks * block_size, block_size, nm.str());
+  SplitMix64 rng(seed);
+  w.trace.reserve(length);
+  for (std::size_t t = 0; t < length; ++t) {
+    const std::size_t block = static_cast<std::size_t>(rng.below(hot_blocks));
+    std::size_t within = 0;  // item 0 of each block is the hot one
+    if (block_size > 1 && rng.chance(cold_fraction))
+      within = 1 + static_cast<std::size_t>(rng.below(block_size - 1));
+    w.trace.push(static_cast<ItemId>(block * block_size + within));
+  }
+  return w;
+}
+
+Workload scan_with_hotset(std::size_t num_blocks, std::size_t block_size,
+                          std::size_t length, double scan_fraction,
+                          double theta, std::size_t span,
+                          std::uint64_t seed) {
+  GC_REQUIRE(scan_fraction >= 0.0 && scan_fraction <= 1.0,
+             "scan fraction must be a probability");
+  GC_REQUIRE(span >= 1 && span <= block_size, "span must be in [1, B]");
+  std::ostringstream nm;
+  nm << "scan-with-hotset(m=" << num_blocks << ",B=" << block_size
+     << ",scan=" << scan_fraction << ",theta=" << theta << ",span=" << span
+     << ")";
+  const std::size_t num_items = num_blocks * block_size;
+  Workload w = make_workload(num_items, block_size, nm.str());
+  SplitMix64 rng(seed);
+  ZipfSampler zipf(num_blocks, theta);
+  std::size_t scan_cursor = 0;
+  w.trace.reserve(length);
+  while (w.trace.size() < length) {
+    if (rng.chance(scan_fraction)) {
+      w.trace.push(static_cast<ItemId>(scan_cursor));
+      scan_cursor = (scan_cursor + 1) % num_items;
+    } else {
+      const auto block = static_cast<std::size_t>(zipf(rng));
+      const std::size_t offset =
+          span == block_size ? 0
+                             : static_cast<std::size_t>(
+                                   rng.below(block_size - span + 1));
+      for (std::size_t j = 0; j < span && w.trace.size() < length; ++j)
+        w.trace.push(static_cast<ItemId>(block * block_size + offset + j));
+    }
+  }
+  return w;
+}
+
+Workload pointer_chase(std::size_t num_blocks, std::size_t block_size,
+                       std::size_t length, double intra_block,
+                       double restart, std::uint64_t seed) {
+  GC_REQUIRE(intra_block >= 0.0 && intra_block <= 1.0,
+             "intra-block probability must be in [0, 1]");
+  GC_REQUIRE(restart >= 0.0 && restart <= 1.0,
+             "restart probability must be in [0, 1]");
+  std::ostringstream nm;
+  nm << "pointer-chase(m=" << num_blocks << ",B=" << block_size
+     << ",intra=" << intra_block << ",restart=" << restart << ")";
+  const std::size_t num_items = num_blocks * block_size;
+  Workload w = make_workload(num_items, block_size, nm.str());
+  SplitMix64 rng(seed);
+
+  // Fixed successor graph: the data structure's layout.
+  std::vector<ItemId> next(num_items);
+  for (std::size_t it = 0; it < num_items; ++it) {
+    if (block_size > 1 && rng.chance(intra_block)) {
+      const std::size_t base = (it / block_size) * block_size;
+      std::size_t succ;
+      do {
+        succ = base + static_cast<std::size_t>(rng.below(block_size));
+      } while (succ == it);
+      next[it] = static_cast<ItemId>(succ);
+    } else {
+      next[it] = static_cast<ItemId>(rng.below(num_items));
+    }
+  }
+
+  // The walk.
+  w.trace.reserve(length);
+  ItemId cursor = 0;
+  for (std::size_t t = 0; t < length; ++t) {
+    w.trace.push(cursor);
+    cursor = rng.chance(restart)
+                 ? static_cast<ItemId>(rng.below(num_items))
+                 : next[cursor];
+  }
+  return w;
+}
+
+}  // namespace gcaching::traces

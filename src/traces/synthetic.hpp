@@ -1,0 +1,68 @@
+// Synthetic workload generators.
+//
+// These are the "realistic scenario" traces for examples and empirical
+// benches: Zipf popularity (with and without block-level spatial locality),
+// scans, phased working sets, and the pollution workload that defeats Block
+// Caches. All generators are deterministic given their seed.
+#pragma once
+
+#include <cstdint>
+
+#include "core/trace.hpp"
+
+namespace gcaching::traces {
+
+/// Zipf-popular items, blocks assigned by address: item popularity ignores
+/// block structure, so spatial locality is incidental.
+Workload zipf_items(std::size_t num_items, std::size_t block_size,
+                    std::size_t length, double theta, std::uint64_t seed);
+
+/// Zipf-popular *blocks*; each block visit touches `span` consecutive items
+/// of the block starting at a per-visit random offset. `span = 1` gives no
+/// intra-block locality; `span = B` gives maximal.
+Workload zipf_blocks(std::size_t num_blocks, std::size_t block_size,
+                     std::size_t length, double theta, std::size_t span,
+                     std::uint64_t seed);
+
+/// Pure sequential sweep over the whole universe (wraps around): maximal
+/// spatial locality, zero temporal locality until the wrap.
+Workload sequential_scan(std::size_t num_items, std::size_t block_size,
+                         std::size_t length);
+
+/// Strided sweep; stride >= B touches one item per block (worst case for
+/// whole-block loading).
+Workload strided_scan(std::size_t num_items, std::size_t block_size,
+                      std::size_t length, std::size_t stride);
+
+/// Phased working sets: each phase draws `working_set` random items and
+/// accesses them uniformly for `phase_length` accesses.
+Workload working_set_phases(std::size_t num_items, std::size_t block_size,
+                            std::size_t length, std::size_t working_set,
+                            std::size_t phase_length, std::uint64_t seed);
+
+/// The Block-Cache pollution workload: exactly one hot item per block, hit
+/// repeatedly with uniform popularity over `hot_blocks` blocks; with
+/// probability `cold_fraction` an access instead touches a random cold
+/// sibling (same block, different item).
+Workload hot_item_per_block(std::size_t num_blocks, std::size_t block_size,
+                            std::size_t length, std::size_t hot_blocks,
+                            double cold_fraction, std::uint64_t seed);
+
+/// Mixture: with probability `scan_fraction` continue a sequential scan
+/// cursor; otherwise draw from zipf_blocks-style popularity. Models a
+/// database mixing index lookups with table scans.
+Workload scan_with_hotset(std::size_t num_blocks, std::size_t block_size,
+                          std::size_t length, double scan_fraction,
+                          double theta, std::size_t span, std::uint64_t seed);
+
+/// Pointer chasing over a fixed random successor graph: each item's
+/// successor is within the same block with probability `intra_block`
+/// (the spatial-locality knob), uniform elsewhere otherwise; the walk
+/// restarts at a uniform item with probability `restart`. Models linked
+/// data structures laid out with varying cache-consciousness
+/// (Calder et al. / Chilimbi et al., cited in Section 1).
+Workload pointer_chase(std::size_t num_blocks, std::size_t block_size,
+                       std::size_t length, double intra_block,
+                       double restart, std::uint64_t seed);
+
+}  // namespace gcaching::traces

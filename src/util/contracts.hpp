@@ -1,0 +1,60 @@
+// Always-on checked contracts.
+//
+// The simulator in this project is a *verifying* simulator: model invariants
+// (Definition 1 of the paper) are enforced at runtime rather than assumed.
+// Contract violations indicate a policy or harness bug and therefore throw
+// `gcaching::ContractViolation` instead of invoking UB, so tests can assert
+// on them and long benchmark runs fail loudly.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gcaching {
+
+/// Thrown when a GC_REQUIRE / GC_ENSURE / GC_CHECK contract fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace gcaching
+
+/// Precondition check: argument/state requirements at function entry.
+#define GC_REQUIRE(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::gcaching::detail::contract_fail("precondition", #cond, __FILE__,   \
+                                        __LINE__, (msg));                  \
+  } while (0)
+
+/// Postcondition check: guarantees at function exit.
+#define GC_ENSURE(cond, msg)                                               \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::gcaching::detail::contract_fail("postcondition", #cond, __FILE__,  \
+                                        __LINE__, (msg));                  \
+  } while (0)
+
+/// Internal-consistency check (invariants mid-function).
+#define GC_CHECK(cond, msg)                                                \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::gcaching::detail::contract_fail("invariant", #cond, __FILE__,      \
+                                        __LINE__, (msg));                  \
+  } while (0)

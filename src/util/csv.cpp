@@ -1,0 +1,44 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace gcaching {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path, std::ios::trunc), width_(header.size()) {
+  if (!out_) throw std::runtime_error("cannot open CSV file: " + path);
+  GC_REQUIRE(width_ > 0, "CSV needs at least one column");
+  write_line(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  GC_REQUIRE(cells.size() == width_, "CSV row width must match header");
+  write_line(cells);
+  ++rows_;
+}
+
+std::string CsvWriter::quote(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_line(const std::vector<std::string>& cells) {
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c > 0) out_ << ',';
+    out_ << quote(cells[c]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace gcaching

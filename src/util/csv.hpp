@@ -1,0 +1,35 @@
+// Minimal CSV emission for machine-readable bench output.
+//
+// Benches write one CSV per reproduced table/figure when given `--csv DIR`,
+// so the series can be re-plotted externally. Quoting follows RFC 4180.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gcaching {
+
+class CsvWriter {
+ public:
+  /// Open (truncate) `path` and write the header row. Throws
+  /// std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append a data row; width must match the header.
+  void add_row(const std::vector<std::string>& cells);
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+  /// Quote a single CSV field per RFC 4180.
+  static std::string quote(const std::string& field);
+
+ private:
+  std::ofstream out_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+
+  void write_line(const std::vector<std::string>& cells);
+};
+
+}  // namespace gcaching

@@ -1,0 +1,86 @@
+// Small numeric helpers shared across bounds, traces, and benches.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace gcaching {
+
+/// ceil(a / b) for non-negative integers, without overflow for a + b <= max.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return b == 0 ? 0 : (a + b - 1) / b;
+}
+
+/// Integer power (small exponents).
+constexpr std::uint64_t ipow(std::uint64_t base, unsigned exp) {
+  std::uint64_t r = 1;
+  while (exp-- > 0) r *= base;
+  return r;
+}
+
+/// True when |a - b| <= tol * max(1, |a|, |b|).
+inline bool approx_equal(double a, double b, double tol = 1e-9) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+/// Value used to represent an unbounded competitive ratio (e.g. a Block
+/// Cache compared against an optimal cache it cannot fit, Theorem 3).
+constexpr double kUnboundedRatio = std::numeric_limits<double>::infinity();
+
+/// Golden-section search for the minimum of a unimodal function on [lo, hi].
+/// Used to cross-check closed-form optimizers (e.g. the Section 5.3 optimal
+/// IBLP partition) against the raw Theorem-7 bound.
+inline double golden_min(const std::function<double(double)>& f, double lo,
+                         double hi, double tol = 1e-7, int max_iter = 200) {
+  GC_REQUIRE(lo <= hi, "golden_min requires lo <= hi");
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  double a = lo, b = hi;
+  double c = b - (b - a) * kInvPhi;
+  double d = a + (b - a) * kInvPhi;
+  double fc = f(c), fd = f(d);
+  for (int it = 0; it < max_iter && (b - a) > tol * std::max(1.0, std::fabs(a));
+       ++it) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - (b - a) * kInvPhi;
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + (b - a) * kInvPhi;
+      fd = f(d);
+    }
+  }
+  return (fc < fd) ? c : d;
+}
+
+/// Monotone bisection: smallest x in [lo, hi] (integers) with pred(x) true.
+/// Returns hi + 1 when the predicate never holds. `pred` must be monotone
+/// (false..false true..true).
+inline std::uint64_t bisect_first_true(
+    std::uint64_t lo, std::uint64_t hi,
+    const std::function<bool(std::uint64_t)>& pred) {
+  GC_REQUIRE(lo <= hi, "bisect_first_true requires lo <= hi");
+  std::uint64_t ans = hi + 1;
+  while (lo <= hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (pred(mid)) {
+      ans = mid;
+      if (mid == 0) break;
+      hi = mid - 1;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return ans;
+}
+
+}  // namespace gcaching

@@ -1,0 +1,49 @@
+// Aligned plain-text tables for bench/report output.
+//
+// Every reproduction bench prints its table/figure as an aligned text table
+// (the "same rows/series the paper reports"); `TextTable` handles column
+// sizing, alignment and separators so benches stay declarative.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gcaching {
+
+class TextTable {
+ public:
+  /// Begin a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator row.
+  void add_separator();
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+  std::size_t num_columns() const noexcept { return headers_.size(); }
+
+  /// Render with single-space-padded, right-aligned numeric-looking cells
+  /// and left-aligned text cells.
+  std::string render() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+  /// Format helpers shared by benches.
+  static std::string fmt(double v, int precision = 4);
+  static std::string fmt_ratio(double v);  // "inf" for unbounded ratios
+  static std::string fmt_int(std::uint64_t v);
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace gcaching

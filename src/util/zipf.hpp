@@ -1,0 +1,73 @@
+// Zipf(ian) sampling over a finite universe.
+//
+// Synthetic cache workloads conventionally use Zipf-distributed popularity
+// (web/CDN and storage traces are approximately Zipfian). `ZipfSampler`
+// draws rank r in {0, .., n-1} with P(r) proportional to 1/(r+1)^theta using
+// rejection-inversion (W. Hormann, G. Derflinger 1996), which needs O(1)
+// state and O(1) expected time per sample — no O(n) CDF table, so universes
+// of hundreds of millions of items are fine.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace gcaching {
+
+/// Samples ranks from a Zipf distribution with exponent `theta >= 0` over
+/// `n` elements; theta = 0 degenerates to the uniform distribution.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+    GC_REQUIRE(n >= 1, "Zipf universe must be non-empty");
+    GC_REQUIRE(theta >= 0.0, "Zipf exponent must be non-negative");
+    if (theta_ > 0.0) {
+      h_x1_ = h(1.5) - std::exp(-theta_ * std::log(1.0));
+      h_n_ = h(static_cast<double>(n_) + 0.5);
+      s_ = 2.0 - h_inverse(h(2.5) - std::exp(-theta_ * std::log(2.0)));
+    }
+  }
+
+  std::uint64_t n() const noexcept { return n_; }
+  double theta() const noexcept { return theta_; }
+
+  /// Draw one rank in [0, n).
+  std::uint64_t operator()(SplitMix64& rng) const {
+    if (theta_ == 0.0) return rng.below(n_);
+    // Rejection-inversion sampling.
+    for (;;) {
+      const double u = h_n_ + rng.uniform01() * (h_x1_ - h_n_);
+      const double x = h_inverse(u);
+      std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+      const double kd = static_cast<double>(k);
+      if (kd - x <= s_ ||
+          u >= h(kd + 0.5) - std::exp(-theta_ * std::log(kd))) {
+        return k - 1;  // expose 0-based ranks
+      }
+    }
+  }
+
+ private:
+  // H(x) = integral of x^-theta; closed forms for theta == 1 and != 1.
+  double h(double x) const {
+    if (theta_ == 1.0) return std::log(x);
+    return (std::exp((1.0 - theta_) * std::log(x)) - 1.0) / (1.0 - theta_);
+  }
+
+  double h_inverse(double u) const {
+    if (theta_ == 1.0) return std::exp(u);
+    return std::exp(std::log(1.0 + u * (1.0 - theta_)) / (1.0 - theta_));
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double h_x1_ = 0.0;
+  double h_n_ = 0.0;
+  double s_ = 0.0;
+};
+
+}  // namespace gcaching

@@ -1,0 +1,90 @@
+#include <bit>
+#include <deque>
+#include <unordered_map>
+
+#include "vscache/vs_instance.hpp"
+
+namespace gcaching::vscache {
+
+namespace {
+
+struct State {
+  std::uint32_t pos;
+  std::uint64_t mask;
+  bool operator==(const State& o) const {
+    return pos == o.pos && mask == o.mask;
+  }
+};
+
+struct StateHash {
+  std::size_t operator()(const State& s) const {
+    std::uint64_t z = s.mask + 0x9e3779b97f4a7c15ULL * (s.pos + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
+}  // namespace
+
+std::uint64_t vs_exact_opt(const VsInstance& instance, const VsTrace& trace) {
+  instance.validate();
+  GC_REQUIRE(instance.num_items() <= 64, "vs solver limited to 64 items");
+  if (trace.empty()) return 0;
+
+  const auto size_of_mask = [&](std::uint64_t mask) {
+    std::uint64_t total = 0;
+    for (std::uint64_t m = mask; m != 0; m &= m - 1)
+      total += instance.sizes[static_cast<std::size_t>(std::countr_zero(m))];
+    return total;
+  };
+
+  const std::uint32_t n = static_cast<std::uint32_t>(trace.size());
+  std::unordered_map<State, std::uint32_t, StateHash> dist;
+  std::deque<State> dq;
+  const State start{0, 0};
+  dist[start] = 0;
+  dq.push_back(start);
+
+  auto relax = [&](State to, std::uint32_t nd, bool zero) {
+    auto it = dist.find(to);
+    if (it != dist.end() && it->second <= nd) return;
+    dist[to] = nd;
+    if (zero)
+      dq.push_front(to);
+    else
+      dq.push_back(to);
+  };
+
+  while (!dq.empty()) {
+    const State s = dq.front();
+    dq.pop_front();
+    const std::uint32_t d = dist[s];
+    if (s.pos == n) return d;  // first goal pop is optimal (0/1-BFS)
+
+    const VsItemId x = trace[s.pos];
+    GC_REQUIRE(x < instance.num_items(), "trace references unknown item");
+    const std::uint64_t xbit = std::uint64_t{1} << x;
+    if (s.mask & xbit) {
+      relax(State{s.pos + 1, s.mask}, d, /*zero=*/true);
+      continue;
+    }
+    // Fault: load x, evicting any subset of the current contents that frees
+    // enough space. Enumerate all eviction subsets (the size structure means
+    // minimal-cardinality pruning is not exact here); at <=64-item universes
+    // and the tiny traces we use, this is fine.
+    const std::uint64_t need = instance.sizes[x];
+    std::uint64_t sub = s.mask;
+    for (;;) {
+      const std::uint64_t kept = sub;  // kept subset of old contents
+      if (size_of_mask(kept) + need <= instance.capacity)
+        relax(State{s.pos + 1, kept | xbit}, d + 1, /*zero=*/false);
+      if (sub == 0) break;
+      sub = (sub - 1) & s.mask;
+    }
+  }
+  GC_REQUIRE(false, "vs search exhausted without serving the whole trace");
+  return 0;  // unreachable
+}
+
+}  // namespace gcaching::vscache

@@ -1,0 +1,43 @@
+// Variable-size caching in the fault model — the source problem of the
+// Theorem 1 reduction.
+//
+// Items have arbitrary (integral) sizes, loading any item costs 1 fault
+// regardless of size, and the cache holds any set of items whose sizes sum
+// to at most the capacity. Offline optimization of this problem is
+// NP-complete [Chrobak, Woeginger, Makino, Xu 2012], which Theorem 1 lifts
+// to GC caching.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace gcaching::vscache {
+
+using VsItemId = std::uint32_t;
+
+struct VsInstance {
+  std::vector<std::uint32_t> sizes;  ///< sizes[i] = size of item i (>= 1)
+  std::uint64_t capacity = 0;        ///< cache capacity (same units)
+
+  std::size_t num_items() const noexcept { return sizes.size(); }
+
+  void validate() const {
+    GC_REQUIRE(!sizes.empty(), "instance needs at least one item");
+    GC_REQUIRE(capacity >= 1, "capacity must be positive");
+    for (std::uint32_t s : sizes) {
+      GC_REQUIRE(s >= 1, "item sizes must be >= 1");
+      GC_REQUIRE(s <= capacity, "every item must fit in the cache");
+    }
+  }
+};
+
+using VsTrace = std::vector<VsItemId>;
+
+/// Exact minimum fault count for serving `trace` on `instance`, starting
+/// from an empty cache. Exponential state-space search (universe <= 64,
+/// small traces) — the same machinery class as `exact_offline_opt`.
+std::uint64_t vs_exact_opt(const VsInstance& instance, const VsTrace& trace);
+
+}  // namespace gcaching::vscache

@@ -1,0 +1,172 @@
+// Integration tests for the executable lower-bound constructions: running
+// the Theorem 2/3/4 adversaries against real policies must reproduce the
+// proofs' miss accounting and approach the analytic bounds.
+#include <gtest/gtest.h>
+
+#include "bounds/competitive.hpp"
+#include "core/simulator.hpp"
+#include "offline/opt_bounds.hpp"
+#include "policies/athreshold.hpp"
+#include "policies/belady.hpp"
+#include "policies/block_lru.hpp"
+#include "policies/iblp.hpp"
+#include "policies/item_lru.hpp"
+#include "traces/adversary.hpp"
+
+namespace gcaching::traces {
+namespace {
+
+TEST(ItemAdversary, ItemLruMissesEveryAccessAfterWarmup) {
+  // The Theorem 2 proof: the online Item Cache never hits after warmup.
+  AdversaryOptions opts{256, 32, 8, 6};
+  ItemLru lru;
+  const auto res = run_item_adversary(lru, opts);
+  const std::uint64_t steady_accesses =
+      res.online.accesses - opts.k;  // warmup = k accesses
+  EXPECT_EQ(res.online_steady_misses, steady_accesses);
+}
+
+TEST(ItemAdversary, RatioApproachesTheorem2Bound) {
+  AdversaryOptions opts{256, 32, 8, 40};
+  ItemLru lru;
+  const auto res = run_item_adversary(lru, opts);
+  const double bound = bounds::item_cache_lower(
+      static_cast<double>(opts.k), static_cast<double>(opts.h),
+      static_cast<double>(opts.B));
+  // Steady ratio must be within the bound's ballpark (the construction is
+  // exactly the proof's, so it should be close) and never exceed it.
+  EXPECT_LE(res.steady_ratio(), bound * 1.001);
+  EXPECT_GE(res.steady_ratio(), bound * 0.85);
+}
+
+TEST(ItemAdversary, PrescribedOptIsAchievable) {
+  // The prescribed OPT count must be a genuine upper bound on the offline
+  // optimum of the captured trace: cross-check with certified OPT lower
+  // bounds (lower <= true OPT <= prescribed is consistent only if
+  // lower <= prescribed).
+  AdversaryOptions opts{128, 32, 8, 10};
+  ItemLru lru;
+  const auto res = run_item_adversary(lru, opts);
+  EXPECT_GE(res.opt_misses,
+            opt_lower_bound(*res.workload.map, res.workload.trace, opts.h));
+}
+
+TEST(ItemAdversary, ClairvoyantHeuristicStaysWithinBOfPrescribedOpt) {
+  AdversaryOptions opts{128, 32, 8, 10};
+  ItemLru lru;
+  const auto res = run_item_adversary(lru, opts);
+  BeladyGreedyGc heur;
+  const SimStats s = simulate(res.workload, heur, opts.h);
+  // The prescribed schedule needs perfect knowledge of the adaptive
+  // step-4 choices; the greedy clairvoyant heuristic lacks the layered
+  // reservation and can lose up to a factor ~B on this trace, but no
+  // more — and it exploits spatial locality far better than an online
+  // item cache of the same size would.
+  EXPECT_LE(s.misses, res.opt_misses * opts.B);
+  ItemLru lru_h;
+  const SimStats s_lru = simulate(res.workload, lru_h, opts.h);
+  EXPECT_LT(s.misses, s_lru.misses);
+}
+
+TEST(ItemAdversary, IblpDoesBetterThanItemLru) {
+  AdversaryOptions opts{512, 64, 16, 16};
+  ItemLru lru;
+  Iblp iblp(IblpConfig{128, 384});
+  const auto r_lru = run_item_adversary(lru, opts);
+  const auto r_iblp = run_item_adversary(iblp, opts);
+  // IBLP's block layer converts the whole-block step-2 scans into one miss
+  // per block; the Item Cache pays B per block.
+  EXPECT_LT(r_iblp.steady_ratio(), r_lru.steady_ratio());
+}
+
+TEST(ItemAdversary, RequiresHGeqB) {
+  AdversaryOptions opts{64, 4, 8, 2};  // h < B
+  ItemLru lru;
+  EXPECT_THROW(run_item_adversary(lru, opts), ContractViolation);
+}
+
+TEST(BlockAdversary, BlockLruMissesEveryAccessAfterWarmup) {
+  AdversaryOptions opts{256, 8, 8, 6};  // h <= k/B = 32
+  BlockLru blk;
+  const auto res = run_block_adversary(blk, opts);
+  // Warmup for a block cache: k items loaded in k/B misses; count accesses.
+  const std::uint64_t steady_accesses = res.online.accesses - opts.k;
+  EXPECT_EQ(res.online_steady_misses, steady_accesses);
+}
+
+TEST(BlockAdversary, RatioApproachesTheorem3Bound) {
+  AdversaryOptions opts{256, 8, 8, 40};
+  BlockLru blk;
+  const auto res = run_block_adversary(blk, opts);
+  const double bound = bounds::block_cache_lower(
+      static_cast<double>(opts.k), static_cast<double>(opts.h),
+      static_cast<double>(opts.B));
+  EXPECT_LE(res.steady_ratio(), bound * 1.001);
+  EXPECT_GE(res.steady_ratio(), bound * 0.80);
+}
+
+TEST(BlockAdversary, ItemLruShruggsItOff) {
+  // The Theorem 3 trace is harmless for an Item Cache of the same size:
+  // its candidates fit easily among k items.
+  AdversaryOptions opts{256, 8, 8, 10};
+  ItemLru lru;
+  const auto res = run_block_adversary(lru, opts);
+  EXPECT_LT(res.steady_ratio(), 3.0);
+}
+
+TEST(BlockAdversary, GeometryPreconditionEnforced) {
+  AdversaryOptions opts{64, 32, 8, 2};  // h > ceil(k/B) = 8
+  BlockLru blk;
+  EXPECT_THROW(run_block_adversary(blk, opts), ContractViolation);
+}
+
+TEST(GeneralAdversary, MeasuresAForItemCache) {
+  // An Item Cache loads one item per miss: the adversary can make all B
+  // distinct requests to each fresh block (a = B).
+  AdversaryOptions opts{128, 32, 8, 6};
+  ItemLru lru;
+  const auto res = run_general_adversary(lru, opts);
+  EXPECT_EQ(res.max_observed_a, opts.B);
+}
+
+TEST(GeneralAdversary, MeasuresAForAThresholdPolicies) {
+  AdversaryOptions opts{128, 32, 8, 6};
+  for (unsigned a : {1u, 2u, 4u}) {
+    AThreshold pol(a);
+    const auto res = run_general_adversary(pol, opts);
+    EXPECT_EQ(res.max_observed_a, a) << "a=" << a;
+  }
+}
+
+TEST(GeneralAdversary, RatioTracksTheorem4AcrossA) {
+  AdversaryOptions opts{256, 64, 16, 24};
+  for (unsigned a : {1u, 4u, 16u}) {
+    AThreshold pol(a);
+    const auto res = run_general_adversary(pol, opts);
+    const double bound = bounds::athreshold_lower(
+        static_cast<double>(opts.k), static_cast<double>(opts.h),
+        static_cast<double>(opts.B), static_cast<double>(a));
+    EXPECT_LE(res.steady_ratio(), bound * 1.05) << "a=" << a;
+    EXPECT_GE(res.steady_ratio(), bound * 0.60) << "a=" << a;
+  }
+}
+
+TEST(GeneralAdversary, CapturedTraceIsValidWorkload) {
+  AdversaryOptions opts{64, 16, 4, 4};
+  ItemLru lru;
+  const auto res = run_general_adversary(lru, opts);
+  EXPECT_NO_THROW(res.workload.validate());
+  EXPECT_GT(res.workload.trace.size(), opts.k);
+}
+
+TEST(Adversaries, TotalAndSteadyCountsConsistent) {
+  AdversaryOptions opts{128, 16, 8, 8};
+  ItemLru lru;
+  const auto res = run_item_adversary(lru, opts);
+  EXPECT_LE(res.online_steady_misses, res.online.misses);
+  EXPECT_LE(res.opt_steady_misses, res.opt_misses);
+  EXPECT_GT(res.opt_steady_misses, 0u);
+}
+
+}  // namespace
+}  // namespace gcaching::traces

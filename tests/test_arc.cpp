@@ -1,0 +1,142 @@
+// Unit tests for the ARC item cache.
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "policies/item_arc.hpp"
+#include "policies/item_lru.hpp"
+#include "traces/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace gcaching {
+namespace {
+
+TEST(Arc, ColdMissesFillT1) {
+  auto map = make_singleton_blocks(16);
+  ItemArc arc;
+  Simulation sim(*map, arc, 4);
+  for (ItemId it : {0u, 1u, 2u}) sim.access(it);
+  EXPECT_EQ(arc.t1_size(), 3u);
+  EXPECT_EQ(arc.t2_size(), 0u);
+}
+
+TEST(Arc, HitPromotesToT2) {
+  auto map = make_singleton_blocks(16);
+  ItemArc arc;
+  Simulation sim(*map, arc, 4);
+  sim.access(0);
+  sim.access(0);
+  EXPECT_EQ(arc.t1_size(), 0u);
+  EXPECT_EQ(arc.t2_size(), 1u);
+}
+
+TEST(Arc, ColdAllNewTrafficNeverGhosts) {
+  // With T1 filling the whole cache, ARC's case IV drops the T1 LRU item
+  // without recording a ghost (the original paper's |T1| = c branch).
+  auto map = make_singleton_blocks(32);
+  ItemArc arc;
+  Simulation sim(*map, arc, 2);
+  for (ItemId it : {0u, 1u, 2u}) sim.access(it);
+  EXPECT_EQ(arc.b1_size(), 0u);
+  EXPECT_EQ(sim.cache().occupancy(), 2u);
+}
+
+TEST(Arc, ReplaceDemotionFeedsGhostLists) {
+  auto map = make_singleton_blocks(32);
+  ItemArc arc;
+  Simulation sim(*map, arc, 2);
+  sim.access(0);
+  sim.access(0);  // 0 promoted to T2
+  sim.access(1);  // T1 = {1}
+  sim.access(2);  // REPLACE demotes 1 from T1 into the B1 ghost list
+  EXPECT_EQ(arc.b1_size(), 1u);
+  EXPECT_FALSE(sim.cache().contains(1));
+  EXPECT_EQ(sim.cache().occupancy(), 2u);
+}
+
+TEST(Arc, GhostHitAdaptsTarget) {
+  auto map = make_singleton_blocks(32);
+  ItemArc arc;
+  Simulation sim(*map, arc, 2);
+  sim.access(0);
+  sim.access(0);  // T2 = {0}
+  sim.access(1);  // T1 = {1}
+  sim.access(2);  // 1 demoted to B1
+  const double p_before = arc.target_t1();
+  sim.access(1);  // B1 ghost hit: p grows, 1 re-enters in T2
+  EXPECT_GT(arc.target_t1(), p_before);
+  EXPECT_TRUE(sim.cache().contains(1));
+  // REPLACE (with the updated p = 1 = |T1|) demoted 0 from T2 into B2.
+  EXPECT_FALSE(sim.cache().contains(0));
+  EXPECT_EQ(arc.t2_size(), 1u);
+  EXPECT_EQ(arc.b2_size(), 1u);
+}
+
+TEST(Arc, NeverExceedsCapacity) {
+  const auto w = traces::zipf_items(256, 1, 20000, 0.8, 7);
+  ItemArc arc;
+  Simulation sim(*w.map, arc, 32);
+  for (ItemId it : w.trace) {
+    sim.access(it);
+    ASSERT_LE(sim.cache().occupancy(), 32u);
+    ASSERT_LE(arc.t1_size() + arc.t2_size(), 32u);
+    ASSERT_LE(arc.t1_size() + arc.b1_size(), 32u);               // |L1| <= c
+    ASSERT_LE(arc.t1_size() + arc.t2_size() + arc.b1_size() +
+                  arc.b2_size(),
+              64u);                                              // <= 2c
+  }
+}
+
+TEST(Arc, ScanResistanceBeatsLruOnMixedTrace) {
+  // Hot set + one-touch scan: LRU lets the scan flush the hot set; ARC
+  // adapts p to protect T2.
+  auto map = make_singleton_blocks(4096);
+  SplitMix64 rng(11);
+  Trace t;
+  for (int round = 0; round < 4000; ++round) {
+    t.push(static_cast<ItemId>(rng.below(24)));        // hot item
+    t.push(static_cast<ItemId>(64 + (round % 4000)));  // scan item
+  }
+  ItemArc arc;
+  ItemLru lru;
+  const auto s_arc = simulate(*map, t, arc, 32);
+  const auto s_lru = simulate(*map, t, lru, 32);
+  EXPECT_LT(s_arc.misses, s_lru.misses);
+}
+
+TEST(Arc, StillAnItemCacheNoSpatialHits) {
+  const auto w = traces::sequential_scan(512, 8, 4096);
+  ItemArc arc;
+  const SimStats s = simulate(w, arc, 64);
+  EXPECT_EQ(s.spatial_hits, 0u);
+  EXPECT_EQ(s.sideloads, 0u);
+}
+
+TEST(Arc, SubjectToTheorem2LikeItemLru) {
+  // Granularity-oblivious: a whole-block scan costs it B misses per block.
+  const auto w = traces::sequential_scan(1024, 8, 1024);
+  ItemArc arc;
+  const SimStats s = simulate(w, arc, 128);
+  EXPECT_EQ(s.misses, 1024u);  // every first-touch access misses
+}
+
+TEST(Arc, DeterministicRerun) {
+  const auto w = traces::zipf_items(128, 4, 10000, 0.9, 5);
+  ItemArc a, b;
+  EXPECT_EQ(simulate(w, a, 32).misses, simulate(w, b, 32).misses);
+}
+
+TEST(Arc, ResetClearsAllState) {
+  auto map = make_singleton_blocks(16);
+  ItemArc arc;
+  {
+    Simulation sim(*map, arc, 4);
+    for (ItemId it : {0u, 1u, 2u, 0u, 3u, 4u}) sim.access(it);
+  }
+  arc.reset();
+  EXPECT_EQ(arc.t1_size() + arc.t2_size() + arc.b1_size() + arc.b2_size(),
+            0u);
+  EXPECT_EQ(arc.target_t1(), 0.0);
+}
+
+}  // namespace
+}  // namespace gcaching

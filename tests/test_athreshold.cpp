@@ -1,0 +1,136 @@
+// Unit tests for the a-threshold policy family (Section 4.4).
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "policies/athreshold.hpp"
+#include "policies/item_lru.hpp"
+#include "traces/synthetic.hpp"
+
+namespace gcaching {
+namespace {
+
+TEST(AThreshold, AEqualsOneLoadsWholeBlockImmediately) {
+  auto map = make_uniform_blocks(16, 4);
+  AThreshold a1(1);
+  const SimStats s = simulate(*map, Trace({0, 1, 2, 3}), a1, 8);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.items_loaded, 4u);
+  EXPECT_EQ(s.spatial_hits, 3u);
+}
+
+TEST(AThreshold, LargeANeverSideloads) {
+  auto map = make_uniform_blocks(16, 4);
+  AThreshold a99(99);
+  const SimStats s = simulate(*map, Trace({0, 1, 2, 3}), a99, 8);
+  EXPECT_EQ(s.misses, 4u);
+  EXPECT_EQ(s.sideloads, 0u);
+}
+
+TEST(AThreshold, LargeAMatchesItemLruMissCounts) {
+  const auto w = traces::zipf_items(128, 8, 10000, 0.8, 33);
+  AThreshold big(1000);
+  ItemLru lru;
+  EXPECT_EQ(simulate(w, big, 32).misses, simulate(w, lru, 32).misses);
+}
+
+TEST(AThreshold, TriggersAfterExactlyADistinctAccesses) {
+  auto map = make_uniform_blocks(16, 4);
+  AThreshold a2(2);
+  Simulation sim(*map, a2, 8);
+  sim.access(0);  // 1st distinct access: load only item 0
+  EXPECT_EQ(sim.cache().occupancy(), 1u);
+  sim.access(1);  // 2nd distinct: threshold reached, rest of block loads
+  EXPECT_EQ(sim.cache().occupancy(), 4u);
+  EXPECT_EQ(sim.stats().misses, 2u);
+  sim.access(2);  // already sideloaded: spatial hit
+  EXPECT_EQ(sim.stats().spatial_hits, 1u);
+}
+
+TEST(AThreshold, RepeatAccessesDoNotCountTwice) {
+  auto map = make_uniform_blocks(16, 4);
+  AThreshold a2(2);
+  Simulation sim(*map, a2, 8);
+  sim.access(0);
+  sim.access(0);  // temporal hit, same item: still 1 distinct
+  EXPECT_EQ(sim.cache().occupancy(), 1u);
+  sim.access(1);
+  EXPECT_EQ(sim.cache().occupancy(), 4u);
+}
+
+TEST(AThreshold, EpisodeResetsWhenBlockFullyEvicted) {
+  auto map = make_uniform_blocks(64, 2);  // B = 2
+  AThreshold a2(2);
+  Simulation sim(*map, a2, 2);  // tiny cache: block 0 gets fully evicted
+  sim.access(0);  // distinct(block0) = 1, no sibling load yet
+  sim.access(2);  // evicts nothing (cap 2); block 1, distinct 1
+  sim.access(4);  // LRU-evicts 0 -> block 0 fully gone, episode resets
+  EXPECT_FALSE(sim.cache().contains(0));
+  // Re-access 0: a fresh episode — one distinct access is below the
+  // threshold, so the sibling (item 1) must NOT be side-loaded.
+  sim.access(0);
+  EXPECT_FALSE(sim.cache().contains(1));
+  // A second distinct access reaches the threshold and pulls in item 0's
+  // sibling.
+  sim.access(1);
+  EXPECT_TRUE(sim.cache().contains(0));
+  EXPECT_TRUE(sim.cache().contains(1));
+}
+
+TEST(AThreshold, HitsCountTowardThreshold) {
+  auto map = make_uniform_blocks(16, 4);
+  AThreshold a2(2);
+  Simulation sim(*map, a2, 8);
+  sim.access(0);  // miss, distinct 1
+  sim.access(1);  // miss, distinct 2 -> whole block
+  sim.access(2);  // spatial hit
+  EXPECT_EQ(sim.stats().misses, 2u);
+}
+
+TEST(AThreshold, InvalidAThrows) {
+  EXPECT_THROW(AThreshold(0), ContractViolation);
+}
+
+TEST(AThreshold, CapacityMustCoverBlock) {
+  auto map = make_uniform_blocks(16, 8);
+  AThreshold a1(1);
+  EXPECT_THROW(Simulation(*map, a1, 4), ContractViolation);
+}
+
+TEST(AThreshold, NameIncludesParameter) {
+  AThreshold a(3);
+  EXPECT_EQ(a.name(), "athreshold(a=3)");
+}
+
+TEST(AThreshold, SweepMonotonicityOnScanTrace) {
+  // On a pure sequential scan (maximal spatial locality), smaller `a` can
+  // only help: whole-block loading converts future misses into hits.
+  const auto w = traces::sequential_scan(4096, 8, 16384);
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (unsigned a : {1u, 2u, 4u, 8u}) {
+    AThreshold pol(a);
+    const std::uint64_t misses = simulate(w, pol, 128).misses;
+    if (!first) {
+      EXPECT_LE(prev, misses) << "a=" << a;
+    }
+    prev = misses;
+    first = false;
+  }
+}
+
+TEST(AThreshold, ProtectsOwnBlockWhenLoadingRest) {
+  // Capacity exactly B: loading the rest of the block must not evict the
+  // block's own items (would livelock); policy falls back gracefully.
+  auto map = make_uniform_blocks(16, 4);
+  AThreshold a1(1);
+  Simulation sim(*map, a1, 4);
+  EXPECT_NO_THROW({
+    sim.access(0);
+    sim.access(4);
+    sim.access(8);
+  });
+  EXPECT_EQ(sim.cache().occupancy(), 4u);
+}
+
+}  // namespace
+}  // namespace gcaching

@@ -1,0 +1,116 @@
+// Unit tests for core/block_map: partitions and their validation.
+#include <gtest/gtest.h>
+
+#include "core/block_map.hpp"
+#include "util/contracts.hpp"
+
+namespace gcaching {
+namespace {
+
+TEST(UniformBlockMap, BasicGeometry) {
+  UniformBlockMap map(12, 4);
+  EXPECT_EQ(map.num_items(), 12u);
+  EXPECT_EQ(map.num_blocks(), 3u);
+  EXPECT_EQ(map.max_block_size(), 4u);
+}
+
+TEST(UniformBlockMap, BlockOf) {
+  UniformBlockMap map(12, 4);
+  EXPECT_EQ(map.block_of(0), 0u);
+  EXPECT_EQ(map.block_of(3), 0u);
+  EXPECT_EQ(map.block_of(4), 1u);
+  EXPECT_EQ(map.block_of(11), 2u);
+}
+
+TEST(UniformBlockMap, ItemsOfAreAscendingAndConsistent) {
+  UniformBlockMap map(12, 4);
+  const auto items = map.items_of(1);
+  ASSERT_EQ(items.size(), 4u);
+  for (std::size_t j = 0; j < items.size(); ++j) {
+    EXPECT_EQ(items[j], 4 + j);
+    EXPECT_EQ(map.block_of(items[j]), 1u);
+  }
+}
+
+TEST(UniformBlockMap, RaggedLastBlock) {
+  UniformBlockMap map(10, 4);
+  EXPECT_EQ(map.num_blocks(), 3u);
+  EXPECT_EQ(map.block_size(2), 2u);
+  EXPECT_EQ(map.items_of(2)[0], 8u);
+}
+
+TEST(UniformBlockMap, SingletonBlocksAreTraditionalCaching) {
+  auto map = make_singleton_blocks(5);
+  EXPECT_EQ(map->num_blocks(), 5u);
+  EXPECT_EQ(map->max_block_size(), 1u);
+  for (ItemId it = 0; it < 5; ++it) EXPECT_EQ(map->block_of(it), it);
+}
+
+TEST(UniformBlockMap, OutOfRangeThrows) {
+  UniformBlockMap map(8, 4);
+  EXPECT_THROW(map.block_of(8), ContractViolation);
+  EXPECT_THROW(map.items_of(2), ContractViolation);
+}
+
+TEST(UniformBlockMap, DegenerateInputsThrow) {
+  EXPECT_THROW(UniformBlockMap(0, 4), ContractViolation);
+  EXPECT_THROW(UniformBlockMap(4, 0), ContractViolation);
+}
+
+TEST(ExplicitBlockMap, BasicPartition) {
+  ExplicitBlockMap map({{0, 2}, {1}, {3, 4, 5}});
+  EXPECT_EQ(map.num_items(), 6u);
+  EXPECT_EQ(map.num_blocks(), 3u);
+  EXPECT_EQ(map.max_block_size(), 3u);
+  EXPECT_EQ(map.block_of(0), 0u);
+  EXPECT_EQ(map.block_of(2), 0u);
+  EXPECT_EQ(map.block_of(1), 1u);
+  EXPECT_EQ(map.block_of(5), 2u);
+}
+
+TEST(ExplicitBlockMap, ItemsAreSortedWithinBlock) {
+  ExplicitBlockMap map({{2, 0}, {1}});
+  const auto items = map.items_of(0);
+  EXPECT_EQ(items[0], 0u);
+  EXPECT_EQ(items[1], 2u);
+}
+
+TEST(ExplicitBlockMap, RejectsOverlap) {
+  EXPECT_THROW(ExplicitBlockMap({{0, 1}, {1, 2}}), ContractViolation);
+}
+
+TEST(ExplicitBlockMap, RejectsDuplicateWithinBlock) {
+  EXPECT_THROW(ExplicitBlockMap({{0, 0}, {1}}), ContractViolation);
+}
+
+TEST(ExplicitBlockMap, RejectsGapsInUniverse) {
+  // ids {0, 2}: id 1 missing => not dense.
+  EXPECT_THROW(ExplicitBlockMap({{0}, {2}}), ContractViolation);
+}
+
+TEST(ExplicitBlockMap, RejectsEmptyBlock) {
+  EXPECT_THROW(ExplicitBlockMap({{0}, {}}), ContractViolation);
+}
+
+TEST(ExplicitBlockMap, RejectsEmptyPartition) {
+  EXPECT_THROW(ExplicitBlockMap({}), ContractViolation);
+}
+
+TEST(BlockMapProperty, EveryItemInItsOwnBlocksItemList) {
+  UniformBlockMap uni(37, 5);
+  for (ItemId it = 0; it < 37; ++it) {
+    const auto items = uni.items_of(uni.block_of(it));
+    bool found = false;
+    for (ItemId member : items) found |= (member == it);
+    EXPECT_TRUE(found) << "item " << it;
+  }
+}
+
+TEST(BlockMapProperty, BlockSizesNeverExceedMax) {
+  ExplicitBlockMap map({{0, 1, 2}, {3}, {4, 5}});
+  for (BlockId b = 0; b < map.num_blocks(); ++b)
+    EXPECT_LE(map.block_size(b), map.max_block_size());
+}
+
+}  // namespace
+}  // namespace gcaching

@@ -1,0 +1,167 @@
+// Unit tests for the Section 4 lower-bound formulas and their Table 1 /
+// Figure 3 relationships.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bounds/competitive.hpp"
+#include "bounds/salient.hpp"
+#include "util/contracts.hpp"
+#include "util/mathx.hpp"
+
+namespace gcaching::bounds {
+namespace {
+
+TEST(SleatorTarjan, ClassicValues) {
+  EXPECT_DOUBLE_EQ(sleator_tarjan_lower(10, 10), 10.0);  // k == h
+  EXPECT_NEAR(sleator_tarjan_lower(2000, 1000), 2.0, 0.01);  // k = 2h
+  EXPECT_DOUBLE_EQ(sleator_tarjan_lower(8, 1), 1.0);  // h = 1: ratio 1
+}
+
+TEST(SleatorTarjan, UpperMatchesLower) {
+  EXPECT_DOUBLE_EQ(sleator_tarjan_lower(512, 100),
+                   sleator_tarjan_lru_upper(512, 100));
+}
+
+TEST(SleatorTarjan, RejectsBadGeometry) {
+  EXPECT_THROW(sleator_tarjan_lower(5, 10), ContractViolation);
+  EXPECT_THROW(sleator_tarjan_lower(5, 0), ContractViolation);
+}
+
+TEST(Theorem2, ItemCachePenaltyNearB) {
+  // k = 2h: ratio ~= B * (k) / (h) / 2 ~ 2B * (1 - ...) — with k >> B the
+  // ratio is ~ B * k/(k-h+1) ~ 2B for k = 2h.
+  const double r = item_cache_lower(2048, 1024, 64);
+  EXPECT_NEAR(r, 64.0 * (2048 - 63) / 1025.0, 1e-9);
+  EXPECT_GT(r, 64.0);  // strictly worse than B at this geometry
+}
+
+TEST(Theorem2, ReducesToSleatorTarjanWhenB1) {
+  const double gc = item_cache_lower(100, 40, 1);
+  const double st = sleator_tarjan_lower(100, 40);
+  EXPECT_NEAR(gc, st, 1e-12);
+}
+
+TEST(Theorem2, MonotoneDecreasingInK) {
+  double prev = kUnboundedRatio;
+  for (double k = 256; k <= 65536; k *= 2) {
+    const double r = item_cache_lower(k, 128, 16);
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Theorem3, UnboundedWithoutBTimesAugmentation) {
+  // k <= B(h-1): adversary wins forever.
+  EXPECT_EQ(block_cache_lower(1024, 32, 64), kUnboundedRatio);
+  // Just above the threshold: finite but enormous.
+  const double r = block_cache_lower(64 * 31 + 10, 32, 64);
+  EXPECT_TRUE(std::isfinite(r));
+  EXPECT_GT(r, 100.0);
+}
+
+TEST(Theorem3, ApproachesOneWithHugeAugmentation) {
+  const double r = block_cache_lower(1 << 20, 2, 64);
+  EXPECT_LT(r, 1.01);
+}
+
+TEST(Theorem4, EndpointsMatchSpecialCases) {
+  const double k = 4096, h = 512, B = 32;
+  // a = B: the Item Cache bound's shape (B(k-h+1) + B(h-B))/(k-h+1)
+  //        = B(k - B + 1)/(k-h+1) — exactly Theorem 2.
+  EXPECT_NEAR(athreshold_lower(k, h, B, B), item_cache_lower(k, h, B),
+              1e-9);
+  // a = 1: (k-h+1 + B(h-1))/(k-h+1).
+  EXPECT_NEAR(athreshold_lower(k, h, B, 1),
+              (k - h + 1 + B * (h - 1)) / (k - h + 1), 1e-9);
+}
+
+TEST(Theorem4, InteriorANeverBeatsBestEndpoint) {
+  const double k = 2048, h = 256, B = 64;
+  const double best = gc_lower_bound(k, h, B);
+  for (double a = 1; a <= B; ++a)
+    EXPECT_GE(athreshold_lower(k, h, B, a) + 1e-9, best) << "a=" << a;
+}
+
+TEST(Theorem4, OptimalASwitchesAtPredictedPoint) {
+  const double B = 16;
+  // k - h + 1 > B  => a = 1 optimal.
+  EXPECT_EQ(gc_optimal_a(1000, 100, B), 1.0);
+  // k - h + 1 < B  => a = B optimal.
+  EXPECT_EQ(gc_optimal_a(105, 100, B), B);
+  // Consistency: the claimed optimum attains the bound.
+  for (double k : {105.0, 1000.0}) {
+    const double a_star = gc_optimal_a(k, 100, B);
+    EXPECT_NEAR(athreshold_lower(k, 100, B, a_star),
+                gc_lower_bound(k, 100, B), 1e-9);
+  }
+}
+
+TEST(GcLowerBound, Table1ConstantAugmentationRow) {
+  // k ~= 2h => ratio ~= B (Table 1 row 1).
+  const double B = 64, h = 16384;
+  const double r = gc_lower_bound(2 * h, h, B);
+  EXPECT_NEAR(r, B, 0.1 * B);
+}
+
+TEST(GcLowerBound, Table1ConstantRatioRow) {
+  // k ~= Bh => ratio ~= 2 (Table 1 row 3).
+  const double B = 64, h = 16384;
+  const double r = gc_lower_bound(B * h, h, B);
+  EXPECT_NEAR(r, 2.0, 0.1);
+}
+
+TEST(GcLowerBound, Table1MeetingPointRow) {
+  // ratio == augmentation at k ~= sqrt(B) h with value ~= sqrt(B).
+  const double B = 64, h = 16384;
+  const auto pt = find_ratio_equals_augmentation(
+      [&](double k) { return gc_lower_bound(k, h, B); }, h, B * h);
+  EXPECT_NEAR(pt.augmentation, std::sqrt(B), 0.25 * std::sqrt(B));
+  EXPECT_NEAR(pt.ratio, std::sqrt(B), 0.25 * std::sqrt(B));
+}
+
+TEST(GcLowerBound, DominatesSleatorTarjan) {
+  const double B = 64, h = 1024;
+  for (double k = h; k <= 64 * h; k *= 2)
+    EXPECT_GE(gc_lower_bound(k, h, B) + 1e-9,
+              sleator_tarjan_lower(k, h));
+}
+
+TEST(GcLowerBound, SmallHClampsAToH) {
+  // h < B: the a = B endpoint is inadmissible; bound must still compute.
+  EXPECT_NO_THROW(gc_lower_bound(1024, 8, 64));
+  EXPECT_GT(gc_lower_bound(1024, 8, 64), 1.0);
+}
+
+TEST(SalientPoints, SleatorTarjanMeetingPointIsTwo) {
+  const double h = 16384;
+  const auto pt = find_ratio_equals_augmentation(
+      [&](double k) { return sleator_tarjan_lower(k, h); }, h, 8 * h);
+  EXPECT_NEAR(pt.augmentation, 2.0, 0.01);
+  EXPECT_NEAR(pt.ratio, 2.0, 0.01);
+}
+
+TEST(SalientPoints, ConstantRatioFindsSmallestK) {
+  const double h = 1000;
+  const auto pt = find_constant_ratio(
+      [&](double k) { return sleator_tarjan_lower(k, h); }, h, 2.0, 1e7);
+  // k/(k-h+1) = 2 at k = 2h - 2.
+  EXPECT_NEAR(pt.k, 2 * h - 2, 2.0);
+}
+
+TEST(SalientPoints, AtAugmentationEvaluates) {
+  const double h = 100;
+  const auto pt = at_augmentation(
+      [&](double k) { return sleator_tarjan_lower(k, h); }, h, 2.0);
+  EXPECT_DOUBLE_EQ(pt.k, 200.0);
+  EXPECT_NEAR(pt.ratio, 2.0, 0.02);
+}
+
+TEST(SalientPoints, UnreachableTargetThrows) {
+  EXPECT_THROW(find_constant_ratio(
+                   [](double) { return 100.0; }, 10, 2.0, 1000),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace gcaching::bounds

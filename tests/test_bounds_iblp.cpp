@@ -1,0 +1,218 @@
+// Unit tests for the IBLP upper bounds (Theorems 5-7), the numeric LP
+// cross-check, and the Section 5.3 partition optimizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bounds/competitive.hpp"
+#include "bounds/iblp_upper.hpp"
+#include "bounds/partition.hpp"
+#include "util/mathx.hpp"
+
+namespace gcaching::bounds {
+namespace {
+
+TEST(Theorem5, MatchesSleatorTarjanShape) {
+  // i/(i-h): the LRU bound without the +1 (Section 5.2's footnote about
+  // miss space).
+  EXPECT_DOUBLE_EQ(iblp_item_layer_upper(200, 100), 2.0);
+  EXPECT_DOUBLE_EQ(iblp_item_layer_upper(101, 100), 101.0);
+}
+
+TEST(Theorem5, UnboundedAtOrBelowH) {
+  EXPECT_EQ(iblp_item_layer_upper(100, 100), kUnboundedRatio);
+  EXPECT_EQ(iblp_item_layer_upper(50, 100), kUnboundedRatio);
+}
+
+TEST(Theorem6, CappedAtB) {
+  // Small b, large h: the LP value exceeds B and the cap binds.
+  EXPECT_DOUBLE_EQ(iblp_block_layer_upper(64, 1000, 16), 16.0);
+}
+
+TEST(Theorem6, LpValueWhenBelowCap) {
+  const double b = 10000, h = 100, B = 16;
+  const double expect = (b + 2 * B * h - B) / (b + B);
+  EXPECT_DOUBLE_EQ(iblp_block_layer_upper(b, h, B), expect);
+  EXPECT_LT(expect, B);
+}
+
+TEST(Theorem6, ApproachesOneForHugeBlockLayer) {
+  EXPECT_NEAR(iblp_block_layer_upper(1e9, 100, 64), 1.0, 1e-2);
+}
+
+TEST(Theorem7, UnboundedWhenItemLayerTooSmall) {
+  EXPECT_EQ(iblp_upper(100, 1000, 100, 64), kUnboundedRatio);
+}
+
+TEST(Theorem7, ContinuousAtRegionBoundary) {
+  const double b = 5000, B = 64, h = 50;
+  const double i_star = iblp_upper_region_boundary(b, B);
+  const double below = iblp_upper(i_star * (1 - 1e-9), b, h, B);
+  const double above = iblp_upper(i_star * (1 + 1e-9), b, h, B);
+  EXPECT_NEAR(below, above, 1e-4 * below);
+}
+
+TEST(Theorem7, ClosedFormMatchesNumericLpWhereInteriorFeasible) {
+  // The paper's closed form is derived from the LP's interior stationary
+  // point; it is exact whenever that point is feasible (r in [0,1], s >= 0,
+  // t in [1, B]) and a (valid but loose) upper bound otherwise. These
+  // geometries have feasible interior optima — verified via the paper's
+  // r* = (b + B(4h - 2i - 1)) / (b + B(2i - 1)) being in (0, 1):
+  const double B = 16, h = 100;
+  const double cases[][2] = {{150, 1600}, {120, 800}, {200, 3200}};
+  for (const auto& c : cases) {
+    const double i = c[0], b = c[1];
+    const double r_star =
+        (b + B * (4 * h - 2 * i - 1)) / (b + B * (2 * i - 1));
+    ASSERT_GT(r_star, 0.0);
+    ASSERT_LT(r_star, 1.0);
+    const double closed = iblp_upper(i, b, h, B);
+    const double numeric = iblp_upper_numeric(i, b, h, B);
+    EXPECT_NEAR(numeric, closed, 0.02 * closed)
+        << "i=" << i << " b=" << b;
+  }
+}
+
+TEST(Theorem7, ClosedFormTracksNumericLpFromAbove) {
+  // Outside the interior-feasible regime the LP optimum sits on a vertex
+  // and the closed form typically over-estimates. One edge geometry
+  // (i barely above h with a large b) exposes a small inaccuracy in the
+  // paper's stated form: the temporal-only corner r = h/i, s = 0 achieves
+  // i/(i-h), which can exceed the region-1 expression by ~2% (e.g.
+  // i = 2h = 40, b = 1024, B = 16: closed 1.966 < corner 2.0). We
+  // therefore assert dominance with a 3% edge allowance; away from that
+  // corner the closed form is a genuine upper bound.
+  const double B = 16;
+  for (double h : {20.0, 100.0})
+    for (double i : {2 * h, 8 * h, 64 * h})
+      for (double b : {64.0, 1024.0, 16384.0}) {
+        const double closed = iblp_upper(i, b, h, B);
+        const double numeric = iblp_upper_numeric(i, b, h, B);
+        EXPECT_GE(closed * 1.03, numeric)
+            << "i=" << i << " b=" << b << " h=" << h;
+      }
+}
+
+TEST(Theorem7, NumericNeverExceedsClosedForm) {
+  // The closed form is an upper bound on the LP value, so the numeric
+  // optimum can be below (when t caps early) but never meaningfully above.
+  const double B = 64;
+  for (double h : {50.0, 400.0})
+    for (double i : {3 * h, 20 * h})
+      for (double b : {256.0, 8192.0}) {
+        const double closed = iblp_upper(i, b, h, B);
+        const double numeric = iblp_upper_numeric(i, b, h, B);
+        EXPECT_LE(numeric, closed * (1 + 1e-6));
+      }
+}
+
+TEST(Partition, TransitionPointFormula) {
+  const double h = 100, B = 64;
+  const double t = item_cache_transition(h, B);
+  EXPECT_NEAR(t, (3 * B * h - h - B * B - B) / (B - 1), 1e-9);
+}
+
+TEST(Partition, SmallKDegeneratesToItemCache) {
+  const double h = 1000, B = 64;
+  const double k = item_cache_transition(h, B) * 0.5;
+  const auto choice = iblp_optimal_partition(k, h, B);
+  EXPECT_DOUBLE_EQ(choice.item_layer, k);
+  EXPECT_DOUBLE_EQ(choice.block_layer, 0.0);
+  EXPECT_NEAR(choice.ratio, (2 * B * k - B * B - B) / (2 * (k - h)), 1e-9);
+}
+
+TEST(Partition, LargeKUsesClosedForm) {
+  const double h = 1000, B = 64;
+  const double k = 100 * h;
+  const auto choice = iblp_optimal_partition(k, h, B);
+  EXPECT_GT(choice.block_layer, 0.0);
+  EXPECT_NEAR(choice.ratio,
+              (k + B - 1) * (k - h + B * (2 * h - 1)) /
+                  ((k - h + B) * (k - h + B)),
+              1e-9);
+}
+
+TEST(Partition, ClosedFormMatchesNumericOptimizer) {
+  const double B = 64;
+  for (double h : {256.0, 4096.0}) {
+    for (double mult : {4.0, 32.0, 256.0}) {
+      const double k = mult * h;
+      if (k <= h + 2) continue;
+      const auto closed = iblp_optimal_partition(k, h, B);
+      const auto numeric = iblp_optimal_partition_numeric(k, h, B);
+      EXPECT_NEAR(numeric.ratio, closed.ratio, 0.03 * closed.ratio)
+          << "k=" << k << " h=" << h;
+    }
+  }
+}
+
+TEST(Partition, OptimalSplitBeatsNaiveSplits) {
+  const double B = 64, h = 1024, k = 64 * h;
+  const auto best = iblp_optimal_partition(k, h, B);
+  for (double frac : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double i = frac * k;
+    EXPECT_LE(best.ratio, iblp_upper(i, k - i, h, B) + 1e-6)
+        << "frac=" << frac;
+  }
+}
+
+TEST(Partition, Section53LargeCacheApproximations) {
+  const double B = 64, h = 4096;
+  // k >= 3h branch.
+  const double k1 = 10 * h;
+  EXPECT_NEAR(iblp_upper_large_cache_approx(k1, h, B),
+              k1 * (k1 + 2 * B * h) / ((k1 - h) * (k1 - h)), 1e-9);
+  // k < 3h branch.
+  const double k2 = 2 * h;
+  EXPECT_NEAR(iblp_upper_large_cache_approx(k2, h, B), B * k2 / (k2 - h),
+              1e-9);
+  // The approximations track the exact optimum within a small factor.
+  const auto exact1 = iblp_optimal_partition(k1, h, B);
+  EXPECT_NEAR(iblp_upper_large_cache_approx(k1, h, B), exact1.ratio,
+              0.35 * exact1.ratio);
+}
+
+TEST(Table1UpperRow, ConstantAugmentationGives2B) {
+  // Section 5.3: "the competitive ratio is ~= 2B when k = 2h".
+  const double B = 64, h = 16384;
+  const auto choice = iblp_optimal_partition(2 * h, h, B);
+  EXPECT_NEAR(choice.ratio, 2 * B, 0.25 * 2 * B);
+}
+
+TEST(Table1UpperRow, KApproxBhGivesRatio3) {
+  // "k ~= Bh yields a competitive ratio of ~= 3".
+  const double B = 64, h = 16384;
+  const auto choice = iblp_optimal_partition(B * h, h, B);
+  EXPECT_NEAR(choice.ratio, 3.0, 0.5);
+}
+
+TEST(Table1UpperRow, MeetingPointNearSqrt2B) {
+  // "the meeting point occurs when k ~= sqrt(2B) h".
+  const double B = 64, h = 16384;
+  double lo = h + 1, hi = 4 * B * h;
+  // bisect ratio(k) == k/h on the optimal-partition bound
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double r = iblp_optimal_partition(mid, h, B).ratio;
+    if (r <= mid / h)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  const double meet = hi / h;
+  EXPECT_NEAR(meet, std::sqrt(2 * B), 0.3 * std::sqrt(2 * B));
+}
+
+TEST(Consistency, UpperBoundDominatesLowerBound) {
+  // The achievable (upper) bound can never fall below the universal lower
+  // bound. Checked across the Figure 3 h-sweep geometry.
+  const double B = 64, k = 1 << 17;
+  for (double h = B + 1; h < k / 2; h *= 2) {
+    const double lower = gc_lower_bound(k, h, B);
+    const double upper = iblp_optimal_partition(k, h, B).ratio;
+    EXPECT_GE(upper + 1e-6, lower) << "h=" << h;
+  }
+}
+
+}  // namespace
+}  // namespace gcaching::bounds

@@ -1,0 +1,164 @@
+// Unit tests for the Section 7 locality-model bounds (Theorems 8-11) and
+// their Table 2 instantiations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bounds/locality_bounds.hpp"
+#include "util/contracts.hpp"
+
+namespace gcaching::bounds {
+namespace {
+
+TEST(PolyLocality, ValueAndInverseAreInverses) {
+  const auto f = make_poly_locality(2.0, 3.0);
+  for (double n : {1.0, 10.0, 1234.0}) {
+    EXPECT_NEAR(f.inverse(f.value(n)), n, 1e-6 * n);
+    EXPECT_NEAR(f.value(f.inverse(n)), n, 1e-6 * n);
+  }
+}
+
+TEST(PolyLocality, GrowsAsPowerLaw) {
+  const auto f = make_poly_locality(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(f.value(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(f.inverse(10.0), 100.0);
+}
+
+TEST(PolyLocality, RejectsBadParameters) {
+  EXPECT_THROW(make_poly_locality(0.0, 2.0), ContractViolation);
+  EXPECT_THROW(make_poly_locality(1.0, 0.5), ContractViolation);
+}
+
+TEST(DeriveBlockLocality, ScalesByGamma) {
+  const auto f = make_poly_locality(1.0, 2.0);
+  const auto g = derive_block_locality(f, 4.0);
+  EXPECT_DOUBLE_EQ(g.value(100.0), 2.5);  // f = 10, gamma = 4
+  // Inverse: g^{-1}(m) = f^{-1}(4m).
+  EXPECT_DOUBLE_EQ(g.inverse(2.5), 100.0);
+}
+
+TEST(DeriveBlockLocality, GammaOneIsIdentity) {
+  const auto f = make_poly_locality(1.5, 2.0);
+  const auto g = derive_block_locality(f, 1.0);
+  EXPECT_DOUBLE_EQ(g.value(50.0), f.value(50.0));
+}
+
+TEST(Theorem8, Table2Row1NoSpatialLocality) {
+  // f = g = x^{1/2}: lower bound ~ 1/h.
+  const auto f = make_poly_locality(1.0, 2.0);
+  const auto g = derive_block_locality(f, 1.0);
+  const double h = 1000;
+  EXPECT_NEAR(fault_rate_lower(f, g, h), 1.0 / h, 0.05 / h);
+}
+
+TEST(Theorem8, Table2Row3MaxSpatialLocality) {
+  // g = f/B: lower bound ~ 1/(Bh).
+  const double B = 64, h = 1000;
+  const auto f = make_poly_locality(1.0, 2.0);
+  const auto g = derive_block_locality(f, B);
+  EXPECT_NEAR(fault_rate_lower(f, g, h), 1.0 / (B * h), 0.05 / (B * h));
+}
+
+TEST(Theorem8, GeneralPExponentShape) {
+  // f = x^{1/p}: lower bound ~ 1/h^{p-1}.
+  for (double p : {2.0, 3.0, 4.0}) {
+    const auto f = make_poly_locality(1.0, p);
+    const auto g = derive_block_locality(f, 1.0);
+    const double h = 64;
+    const double expect = 1.0 / std::pow(h, p - 1.0);
+    EXPECT_NEAR(fault_rate_lower(f, g, h), expect, 0.2 * expect)
+        << "p=" << p;
+  }
+}
+
+TEST(Theorem9, ItemLayerShape) {
+  // (i-1)/(f^{-1}(i+1)-2) ~ 1/i^{p-1} for f = x^{1/p}.
+  const auto f = make_poly_locality(1.0, 2.0);
+  const double i = 512;
+  const double expect = (i - 1) / ((i + 1) * (i + 1) - 2);
+  EXPECT_DOUBLE_EQ(iblp_item_fault_upper(f, i), expect);
+  EXPECT_NEAR(expect, 1.0 / i, 0.05 / i);
+}
+
+TEST(Theorem10, BlockLayerUsesGInverse) {
+  // Documented paper-typo handling: with g = x^{1/2} (no B scaling),
+  // the block layer of size b acts as b/B blocks: bound ~ B/b.
+  const double B = 16, b = 1024;
+  const auto g = make_poly_locality(1.0, 2.0);
+  const double eff = b / B;
+  const double expect = (eff - 1) / ((eff + 1) * (eff + 1) - 2);
+  EXPECT_DOUBLE_EQ(iblp_block_fault_upper(g, b, B), expect);
+  EXPECT_NEAR(expect, B / b, 0.1 * B / b);
+}
+
+TEST(Theorem10, Table2Row2MatchesOneOverB) {
+  // g = x^{1/2}/B^{1/2}: block layer bound ~ 1/b.
+  const double B = 16, b = 1024;
+  const auto f = make_poly_locality(1.0, 2.0);
+  const auto g = derive_block_locality(f, std::sqrt(B));
+  const double bound = iblp_block_fault_upper(g, b, B);
+  EXPECT_NEAR(bound, 1.0 / b, 0.15 / b);
+}
+
+TEST(Theorem10, Table2Row3MatchesOneOverBb) {
+  // g = x^{1/2}/B: block layer bound ~ 1/(Bb).
+  const double B = 16, b = 1024;
+  const auto f = make_poly_locality(1.0, 2.0);
+  const auto g = derive_block_locality(f, B);
+  const double bound = iblp_block_fault_upper(g, b, B);
+  EXPECT_NEAR(bound, 1.0 / (B * b), 0.2 / (B * b));
+}
+
+TEST(Theorem11, TakesTheMinimum) {
+  const double B = 16, i = 512, b = 512;
+  const auto f = make_poly_locality(1.0, 2.0);
+  const auto g = derive_block_locality(f, 4.0);
+  const double combined = iblp_fault_upper(f, g, i, b, B);
+  EXPECT_DOUBLE_EQ(combined, std::min(iblp_item_fault_upper(f, i),
+                                      iblp_block_fault_upper(g, b, B)));
+}
+
+TEST(Section73, CrossoverAtGammaB1MinusOneOverP) {
+  // At gamma = B^{1-1/p} with i = b, the two layers' bounds meet (within
+  // low-order terms).
+  const double B = 64, p = 2.0;
+  const double i = 4096, b = 4096;
+  const double gamma = std::pow(B, 1.0 - 1.0 / p);
+  const auto f = make_poly_locality(1.0, p);
+  const auto g = derive_block_locality(f, gamma);
+  const double item_ub = iblp_item_fault_upper(f, i);
+  const double block_ub = iblp_block_fault_upper(g, b, B);
+  EXPECT_NEAR(item_ub, block_ub, 0.15 * item_ub);
+}
+
+TEST(Section73, GapVsHalfSizedLowerBoundIsAtMostGamma) {
+  // Comparing an equally-split cache (i = b = h) against the lower bound
+  // for size h: the gap is ~ f/g = gamma (Section 7.3's takeaway).
+  const double B = 64, p = 2.0, h = 2048;
+  for (double gamma : {1.0, 8.0, 64.0}) {
+    const auto f = make_poly_locality(1.0, p);
+    const auto g = derive_block_locality(f, gamma);
+    const double ub = iblp_fault_upper(f, g, h, h, B);
+    const double lb = fault_rate_lower(f, g, h);
+    const double gap = ub / lb;
+    EXPECT_GE(gap, 0.5);             // sanity
+    EXPECT_LE(gap, 4.0 * B);         // never beyond ~B
+  }
+}
+
+TEST(Theorem8, DegenerateWindowRejected) {
+  // f^{-1}(k+1) <= 2 means the model cannot even fit the working set.
+  const auto f = make_poly_locality(100.0, 2.0);  // f(1) = 100
+  const auto g = derive_block_locality(f, 1.0);
+  EXPECT_THROW(fault_rate_lower(f, g, 50), ContractViolation);
+}
+
+TEST(BoundsAreRates, AlwaysAtMostOne) {
+  const auto f = make_poly_locality(1.0, 2.0);
+  const auto g = derive_block_locality(f, 2.0);
+  EXPECT_LE(iblp_item_fault_upper(f, 4), 1.0);
+  EXPECT_LE(iblp_block_fault_upper(g, 64, 16), 1.0);
+}
+
+}  // namespace
+}  // namespace gcaching::bounds

@@ -1,0 +1,166 @@
+// Unit tests for workload composition and the offline-OPT portfolio plus
+// concave-majorant utilities (the newer library extensions).
+#include <gtest/gtest.h>
+
+#include "locality/concave.hpp"
+#include "locality/window_profile.hpp"
+#include "offline/exact_opt.hpp"
+#include "offline/opt_bounds.hpp"
+#include "offline/opt_portfolio.hpp"
+#include "traces/compose.hpp"
+#include "traces/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace gcaching {
+namespace {
+
+// ---------------------------------------------------------------------------
+// compose
+// ---------------------------------------------------------------------------
+
+Workload tiny(std::shared_ptr<const BlockMap> map, std::vector<ItemId> acc,
+              std::string name) {
+  Workload w;
+  w.map = std::move(map);
+  w.trace = Trace(std::move(acc));
+  w.name = std::move(name);
+  return w;
+}
+
+TEST(Compose, InterleaveAlternates) {
+  auto map = make_uniform_blocks(8, 4);
+  const auto a = tiny(map, {0, 1, 2}, "a");
+  const auto b = tiny(map, {4, 5}, "b");
+  const auto w = traces::interleave(a, b);
+  const std::vector<ItemId> expect = {0, 4, 1, 5, 2};
+  ASSERT_EQ(w.trace.size(), expect.size());
+  for (std::size_t p = 0; p < expect.size(); ++p)
+    EXPECT_EQ(w.trace[p], expect[p]);
+}
+
+TEST(Compose, InterleaveChunked) {
+  auto map = make_uniform_blocks(8, 4);
+  const auto a = tiny(map, {0, 1, 2, 3}, "a");
+  const auto b = tiny(map, {4, 5}, "b");
+  const auto w = traces::interleave(a, b, 2, 1);
+  const std::vector<ItemId> expect = {0, 1, 4, 2, 3, 5};
+  ASSERT_EQ(w.trace.size(), expect.size());
+  for (std::size_t p = 0; p < expect.size(); ++p)
+    EXPECT_EQ(w.trace[p], expect[p]);
+}
+
+TEST(Compose, InterleaveRequiresSharedMap) {
+  const auto a = tiny(make_uniform_blocks(8, 4), {0}, "a");
+  const auto b = tiny(make_uniform_blocks(8, 4), {0}, "b");
+  EXPECT_THROW(traces::interleave(a, b), ContractViolation);
+}
+
+TEST(Compose, ConcatAndRepeat) {
+  auto map = make_uniform_blocks(8, 4);
+  const auto a = tiny(map, {0, 1}, "a");
+  const auto b = tiny(map, {2}, "b");
+  const auto cat = traces::concat(a, b);
+  EXPECT_EQ(cat.trace.size(), 3u);
+  const auto rep = traces::repeat(cat, 3);
+  EXPECT_EQ(rep.trace.size(), 9u);
+  EXPECT_EQ(rep.trace[3], 0u);
+}
+
+TEST(Compose, Truncate) {
+  auto map = make_uniform_blocks(8, 4);
+  const auto a = tiny(map, {0, 1, 2, 3}, "a");
+  const auto t = traces::truncate(a, 2);
+  EXPECT_EQ(t.trace.size(), 2u);
+  const auto longer = traces::truncate(a, 100);
+  EXPECT_EQ(longer.trace.size(), 4u);
+}
+
+TEST(Compose, NamesCarryProvenance) {
+  auto map = make_uniform_blocks(8, 4);
+  const auto a = tiny(map, {0}, "alpha");
+  const auto b = tiny(map, {1}, "beta");
+  EXPECT_NE(traces::interleave(a, b).name.find("alpha"), std::string::npos);
+  EXPECT_NE(traces::concat(a, b).name.find("beta"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// opt portfolio
+// ---------------------------------------------------------------------------
+
+TEST(OptPortfolio, BracketsExactOptOnSmallInstances) {
+  SplitMix64 rng(31337);
+  auto map = make_uniform_blocks(12, 4);
+  for (int round = 0; round < 6; ++round) {
+    Trace t;
+    for (int p = 0; p < 24; ++p) t.push(static_cast<ItemId>(rng.below(12)));
+    const std::size_t k = 8;
+    const auto exact = exact_offline_opt(*map, t, k);
+    const auto upper = opt_portfolio_upper(*map, t, k);
+    const auto lower = opt_lower_bound(*map, t, k);
+    EXPECT_LE(lower, exact.cost) << "round " << round;
+    EXPECT_GE(upper.misses, exact.cost) << "round " << round;
+  }
+}
+
+TEST(OptPortfolio, PicksBlockBeladyOnScans) {
+  const auto w = traces::sequential_scan(256, 8, 2048);
+  const auto res = opt_portfolio_upper(*w.map, w.trace, 64);
+  // Whole-block clairvoyance is optimal on a pure scan: one miss per block
+  // touched per lap.
+  EXPECT_LE(res.misses, 2048u / 8u + 8u);
+}
+
+TEST(OptPortfolio, ReportsWinningPolicy) {
+  const auto w = traces::sequential_scan(256, 8, 1024);
+  const auto res = opt_portfolio_upper(*w.map, w.trace, 64);
+  EXPECT_FALSE(res.best_policy.empty());
+}
+
+TEST(OptPortfolio, WorksWithTinyCapacity) {
+  const auto w = traces::zipf_items(64, 8, 2000, 0.8, 2);
+  // capacity < B: block-granularity members are skipped, item members run.
+  const auto res = opt_portfolio_upper(*w.map, w.trace, 4);
+  EXPECT_GT(res.misses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// concave majorant
+// ---------------------------------------------------------------------------
+
+TEST(Concave, MajorantDominatesAndIsConcave) {
+  const std::vector<std::size_t> xs = {1, 2, 4, 8, 16, 32};
+  const std::vector<double> ys = {1, 3, 4, 9, 10, 12};  // kink at 4->8
+  const auto maj = locality::concave_majorant(xs, ys);
+  for (std::size_t j = 0; j < ys.size(); ++j)
+    EXPECT_GE(maj[j] + 1e-9, ys[j]) << "j=" << j;
+  EXPECT_TRUE(locality::is_concave(xs, maj, 1e-6));
+}
+
+TEST(Concave, ConcaveInputUnchanged) {
+  const std::vector<std::size_t> xs = {1, 2, 4, 8};
+  const std::vector<double> ys = {1, 2, 3, 3.5};
+  const auto maj = locality::concave_majorant(xs, ys);
+  for (std::size_t j = 0; j < ys.size(); ++j)
+    EXPECT_NEAR(maj[j], ys[j], 1e-9);
+}
+
+TEST(Concave, IsConcaveDetectsConvexity) {
+  const std::vector<std::size_t> xs = {1, 2, 3};
+  EXPECT_FALSE(locality::is_concave(xs, {1, 1, 4}));
+  EXPECT_TRUE(locality::is_concave(xs, {1, 3, 4}));
+}
+
+TEST(Concave, MeasuredProfileMajorantFeedsBounds) {
+  const auto w = traces::working_set_phases(512, 8, 40000, 48, 2000, 13);
+  const auto prof = locality::compute_profile(w);
+  const auto f = locality::concave_locality_function(
+      prof.window_lengths, prof.max_distinct_items);
+  // Sanity: usable as a locality function (monotone, invertible around the
+  // sampled range).
+  EXPECT_GE(f.value(100.0), f.value(10.0));
+  const double m = f.value(500.0);
+  EXPECT_NEAR(f.value(f.inverse(m)), m, 1e-6 * m);
+}
+
+}  // namespace
+}  // namespace gcaching

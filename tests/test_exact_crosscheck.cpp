@@ -1,0 +1,159 @@
+// Independent cross-validation of the exact offline solver: a deliberately
+// naive recursive optimizer (different state representation, different
+// enumeration order, no 0/1-BFS, no eviction-minimality pruning) must agree
+// with `exact_offline_opt` on exhaustive tiny instances. Also property
+// tests for the trace-IO round trip on randomized workloads.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "core/trace_io.hpp"
+#include "offline/exact_opt.hpp"
+#include "traces/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace gcaching {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Naive reference solver
+// ---------------------------------------------------------------------------
+
+struct NaiveSolver {
+  const BlockMap& map;
+  const Trace& trace;
+  std::size_t k;
+  std::map<std::pair<std::size_t, std::set<ItemId>>, std::uint64_t> memo;
+
+  std::uint64_t solve(std::size_t pos, std::set<ItemId> cache) {
+    if (pos == trace.size()) return 0;
+    const auto key = std::make_pair(pos, cache);
+    const auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+
+    const ItemId x = trace[pos];
+    std::uint64_t best;
+    if (cache.count(x)) {
+      best = solve(pos + 1, cache);
+    } else {
+      best = ~std::uint64_t{0};
+      // Enumerate EVERY load subset containing x and EVERY post-state
+      // respecting capacity — including wasteful over-evictions, which an
+      // optimal schedule never needs; the reference deliberately explores
+      // them to stress the production solver's pruning argument.
+      const auto block_items = map.items_of(map.block_of(x));
+      std::vector<ItemId> loadable;
+      for (ItemId m : block_items)
+        if (!cache.count(m) && m != x) loadable.push_back(m);
+      const std::size_t subsets = std::size_t{1} << loadable.size();
+      for (std::size_t mask = 0; mask < subsets; ++mask) {
+        std::set<ItemId> loaded = {x};
+        for (std::size_t j = 0; j < loadable.size(); ++j)
+          if (mask & (std::size_t{1} << j)) loaded.insert(loadable[j]);
+        // Choose survivors among old contents (any subset).
+        std::vector<ItemId> old(cache.begin(), cache.end());
+        const std::size_t old_subsets = std::size_t{1} << old.size();
+        for (std::size_t om = 0; om < old_subsets; ++om) {
+          std::set<ItemId> next = loaded;
+          for (std::size_t j = 0; j < old.size(); ++j)
+            if (om & (std::size_t{1} << j)) next.insert(old[j]);
+          if (next.size() > k) continue;
+          best = std::min(best, 1 + solve(pos + 1, std::move(next)));
+        }
+      }
+    }
+    memo[key] = best;
+    return best;
+  }
+};
+
+TEST(ExactCrossCheck, AgreesWithNaiveSolverExhaustively) {
+  SplitMix64 rng(606);
+  for (int round = 0; round < 25; ++round) {
+    const std::size_t B = 1 + rng.below(3);        // 1..3
+    const std::size_t blocks = 2 + rng.below(2);   // 2..3
+    const std::size_t n = B * blocks;
+    const std::size_t k = 1 + rng.below(3);        // 1..3
+    auto map = make_uniform_blocks(n, B);
+    Trace t;
+    const std::size_t len = 4 + rng.below(6);      // 4..9
+    for (std::size_t p = 0; p < len; ++p)
+      t.push(static_cast<ItemId>(rng.below(n)));
+
+    NaiveSolver naive{*map, t, k, {}};
+    const std::uint64_t expect = naive.solve(0, {});
+    const auto got = exact_offline_opt(*map, t, k);
+    EXPECT_EQ(got.cost, expect)
+        << "round " << round << " n=" << n << " B=" << B << " k=" << k;
+  }
+}
+
+TEST(ExactCrossCheck, LargerBlocksSpotChecks) {
+  SplitMix64 rng(707);
+  for (int round = 0; round < 6; ++round) {
+    auto map = make_uniform_blocks(8, 4);
+    Trace t;
+    for (std::size_t p = 0; p < 8; ++p)
+      t.push(static_cast<ItemId>(rng.below(8)));
+    const std::size_t k = 2 + rng.below(2);
+    NaiveSolver naive{*map, t, k, {}};
+    EXPECT_EQ(exact_offline_opt(*map, t, k).cost, naive.solve(0, {}))
+        << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trace-IO round-trip property
+// ---------------------------------------------------------------------------
+
+TEST(TraceIoProperty, RandomWorkloadsRoundTripExactly) {
+  SplitMix64 rng(808);
+  for (int round = 0; round < 12; ++round) {
+    Workload w;
+    const std::size_t B = 1 + rng.below(9);
+    const std::size_t blocks = 1 + rng.below(20);
+    if (rng.chance(0.5)) {
+      w.map = make_uniform_blocks(blocks * B, B);
+    } else {
+      // Random explicit partition: shuffle a dense universe into blocks.
+      std::vector<ItemId> ids(blocks * B);
+      for (std::size_t j = 0; j < ids.size(); ++j)
+        ids[j] = static_cast<ItemId>(j);
+      for (std::size_t j = ids.size(); j > 1; --j)
+        std::swap(ids[j - 1], ids[rng.below(j)]);
+      std::vector<std::vector<ItemId>> parts;
+      for (std::size_t j = 0; j < ids.size();) {
+        const std::size_t take =
+            std::min<std::size_t>(1 + rng.below(B), ids.size() - j);
+        parts.emplace_back(ids.begin() + static_cast<long>(j),
+                           ids.begin() + static_cast<long>(j + take));
+        j += take;
+      }
+      w.map = std::make_shared<ExplicitBlockMap>(std::move(parts));
+    }
+    const std::size_t len = rng.below(200);
+    for (std::size_t p = 0; p < len; ++p)
+      w.trace.push(static_cast<ItemId>(rng.below(w.map->num_items())));
+    w.name = "roundtrip-" + std::to_string(round);
+
+    std::ostringstream os;
+    save_workload(os, w);
+    std::istringstream is(os.str());
+    const Workload back = load_workload(is);
+
+    ASSERT_EQ(back.map->num_items(), w.map->num_items());
+    ASSERT_EQ(back.map->num_blocks(), w.map->num_blocks());
+    for (ItemId it = 0; it < w.map->num_items(); ++it)
+      ASSERT_EQ(back.map->block_of(it), w.map->block_of(it))
+          << "round " << round;
+    ASSERT_EQ(back.trace.size(), w.trace.size());
+    for (std::size_t p = 0; p < w.trace.size(); ++p)
+      ASSERT_EQ(back.trace[p], w.trace[p]);
+    EXPECT_EQ(back.name, w.name);
+  }
+}
+
+}  // namespace
+}  // namespace gcaching

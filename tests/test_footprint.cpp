@@ -1,0 +1,114 @@
+// Unit tests for the footprint-predicting GC cache.
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "policies/block_lru.hpp"
+#include "policies/footprint.hpp"
+#include "policies/item_lru.hpp"
+#include "traces/synthetic.hpp"
+
+namespace gcaching {
+namespace {
+
+TEST(Footprint, ColdBlockLoadsWholeBlockByDefault) {
+  auto map = make_uniform_blocks(16, 4);
+  FootprintCache fp;
+  const SimStats s = simulate(*map, Trace({0}), fp, 8);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.items_loaded, 4u);
+}
+
+TEST(Footprint, ColdItemModeLoadsOnlyRequested) {
+  auto map = make_uniform_blocks(16, 4);
+  FootprintCache fp(/*cold_whole_block=*/false);
+  const SimStats s = simulate(*map, Trace({0, 1}), fp, 8);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.sideloads, 0u);
+}
+
+TEST(Footprint, LearnsFootprintAcrossEpisodes) {
+  auto map = make_uniform_blocks(64, 4);
+  FootprintCache fp;
+  Simulation sim(*map, fp, 4);
+  // Episode 1: block 0 loaded whole (cold); only items 0 and 1 touched.
+  sim.access(0);
+  sim.access(1);
+  // Force block 0 fully out (capacity 4, new block evicts everything).
+  sim.access(4);
+  sim.access(5);
+  sim.access(6);
+  sim.access(7);
+  EXPECT_EQ(sim.cache().residents_of_block(0), 0u);
+  // The recorded footprint is {positions 0, 1}.
+  EXPECT_EQ(fp.recorded_footprint(0), 0b0011u);
+  // Episode 2: miss on 0 loads only the footprint {0, 1}, not 2, 3.
+  sim.access(0);
+  EXPECT_TRUE(sim.cache().contains(1));
+  EXPECT_FALSE(sim.cache().contains(2));
+  EXPECT_FALSE(sim.cache().contains(3));
+}
+
+TEST(Footprint, FootprintUpdatesEachEpisode) {
+  auto map = make_uniform_blocks(64, 4);
+  FootprintCache fp;
+  Simulation sim(*map, fp, 4);
+  sim.access(0);                         // episode 1: touch 0 only
+  for (ItemId it : {4u, 5u, 6u, 7u}) sim.access(it);  // flush block 0
+  EXPECT_EQ(fp.recorded_footprint(0), 0b0001u);
+  sim.access(0);                         // episode 2: loads {0}
+  sim.access(2);                         // touch 2 as well (miss)
+  for (ItemId it : {4u, 5u, 6u, 7u}) sim.access(it);  // flush again
+  EXPECT_EQ(fp.recorded_footprint(0), 0b0101u);
+}
+
+TEST(Footprint, BeatsBlockLruOnSparseBlockUse) {
+  // Hot-item workload: each block's footprint is one item. After warmup the
+  // footprint cache behaves like an item cache (no pollution), while the
+  // Block Cache keeps dragging whole blocks.
+  const auto w = traces::hot_item_per_block(64, 8, 30000, 64, 0.0, 3);
+  FootprintCache fp;
+  BlockLru blru;
+  const auto s_fp = simulate(w, fp, 128);
+  const auto s_bl = simulate(w, blru, 128);
+  EXPECT_LT(s_fp.misses * 2, s_bl.misses);
+}
+
+TEST(Footprint, MatchesBlockLoadingOnDenseUse) {
+  // Sequential scan: the footprint converges to the full block, so the
+  // policy captures the same spatial hits an a=1 loader would.
+  const auto w = traces::sequential_scan(1024, 8, 8192);
+  FootprintCache fp;
+  ItemLru lru;
+  const auto s_fp = simulate(w, fp, 64);
+  const auto s_lru = simulate(w, lru, 64);
+  EXPECT_LT(s_fp.misses * 4, s_lru.misses);
+}
+
+TEST(Footprint, WastedSideloadsLowOnHotItemWorkload) {
+  const auto w = traces::hot_item_per_block(64, 8, 30000, 64, 0.0, 5);
+  FootprintCache fp;
+  BlockLru blru;
+  const auto s_fp = simulate(w, fp, 128);
+  const auto s_bl = simulate(w, blru, 128);
+  EXPECT_LT(s_fp.wasted_sideloads, s_bl.wasted_sideloads / 2);
+}
+
+TEST(Footprint, RejectsOversizedBlocks) {
+  auto map = make_uniform_blocks(130, 65);  // > 64 items per block
+  FootprintCache fp;
+  EXPECT_THROW(Simulation(*map, fp, 130), ContractViolation);
+}
+
+TEST(Footprint, NameReflectsColdPolicy) {
+  EXPECT_EQ(FootprintCache(true).name(), "footprint(cold=block)");
+  EXPECT_EQ(FootprintCache(false).name(), "footprint(cold=item)");
+}
+
+TEST(Footprint, SurvivesTightCapacity) {
+  const auto w = traces::zipf_blocks(32, 8, 10000, 0.9, 5, 9);
+  FootprintCache fp;
+  EXPECT_NO_THROW(simulate(w, fp, 8));  // capacity == B
+}
+
+}  // namespace
+}  // namespace gcaching

@@ -1,0 +1,126 @@
+// Unit and integration tests for the multi-level hierarchy simulator.
+#include <gtest/gtest.h>
+
+#include "hierarchy/hierarchy.hpp"
+#include "policies/factory.hpp"
+#include "traces/synthetic.hpp"
+#include "util/contracts.hpp"
+
+namespace gcaching::hierarchy {
+namespace {
+
+std::vector<LevelConfig> two_levels(std::size_t num_items) {
+  auto maps = nested_uniform_maps(num_items, {1, 32});
+  std::vector<LevelConfig> levels(2);
+  levels[0] = {"L1", 64, "item-lru", maps[0], 10.0};
+  levels[1] = {"dram-cache", 2048, "iblp:i=1024,b=1024", maps[1], 200.0};
+  return levels;
+}
+
+TEST(Hierarchy, NestedMapsShareUniverse) {
+  const auto maps = nested_uniform_maps(1024, {1, 8, 64});
+  ASSERT_EQ(maps.size(), 3u);
+  for (const auto& m : maps) EXPECT_EQ(m->num_items(), 1024u);
+  EXPECT_EQ(maps[0]->max_block_size(), 1u);
+  EXPECT_EQ(maps[2]->max_block_size(), 64u);
+}
+
+TEST(Hierarchy, LowerLevelSeesExactlyTheMissStream) {
+  HierarchySimulator hs(two_levels(1 << 16));
+  const auto w = traces::zipf_blocks(512, 32, 20000, 0.9, 8, 3);
+  hs.run(w.trace);
+  EXPECT_EQ(hs.level_stats(1).accesses, hs.level_stats(0).misses);
+  EXPECT_EQ(hs.accesses(), hs.level_stats(0).accesses);
+}
+
+TEST(Hierarchy, HitStopsPropagation) {
+  auto maps = nested_uniform_maps(256, {1, 8});
+  std::vector<LevelConfig> levels(2);
+  levels[0] = {"L1", 4, "item-lru", maps[0], 1.0};
+  levels[1] = {"L2", 64, "block-lru", maps[1], 10.0};
+  HierarchySimulator hs(levels);
+  hs.access(0);  // cold: misses both levels
+  hs.access(0);  // L1 hit: L2 must not be probed again
+  EXPECT_EQ(hs.level_stats(0).hits, 1u);
+  EXPECT_EQ(hs.level_stats(1).accesses, 1u);
+}
+
+TEST(Hierarchy, CostModelArithmetic) {
+  auto maps = nested_uniform_maps(64, {1, 8});
+  std::vector<LevelConfig> levels(2);
+  levels[0] = {"L1", 4, "item-lru", maps[0], 10.0};
+  levels[1] = {"L2", 16, "block-lru", maps[1], 100.0};
+  HierarchySimulator hs(levels, /*probe_cost=*/1.0);
+  hs.access(0);  // miss, miss: 1 + 10 + 100
+  hs.access(0);  // L1 hit: 1
+  EXPECT_DOUBLE_EQ(hs.total_cost(), 112.0);
+  EXPECT_DOUBLE_EQ(hs.amat(), 56.0);
+}
+
+TEST(Hierarchy, HitShares) {
+  auto maps = nested_uniform_maps(64, {1, 8});
+  std::vector<LevelConfig> levels(2);
+  levels[0] = {"L1", 4, "item-lru", maps[0], 1.0};
+  levels[1] = {"L2", 16, "block-lru", maps[1], 10.0};
+  HierarchySimulator hs(levels);
+  hs.access(0);  // memory
+  hs.access(0);  // L1
+  hs.access(1);  // L2 (block 0 resident there), loads into L1 too
+  EXPECT_DOUBLE_EQ(hs.hit_share(0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(hs.hit_share(1), 1.0 / 3.0);
+}
+
+TEST(Hierarchy, GcAwareLastLevelBeatsItemCacheOnScans) {
+  const auto w = traces::sequential_scan(1 << 15, 32, 100000);
+  auto maps = nested_uniform_maps(1 << 15, {1, 32});
+  std::vector<LevelConfig> gc_levels(2), item_levels(2);
+  gc_levels[0] = {"L1", 64, "item-lru", maps[0], 10.0};
+  gc_levels[1] = {"LLC", 2048, "iblp:i=512,b=1536", maps[1], 200.0};
+  item_levels[0] = {"L1", 64, "item-lru", maps[0], 10.0};
+  item_levels[1] = {"LLC", 2048, "item-lru", maps[1], 200.0};
+  HierarchySimulator gc(gc_levels), item(item_levels);
+  gc.run(w.trace);
+  item.run(w.trace);
+  EXPECT_LT(gc.amat(), item.amat() * 0.5);
+}
+
+TEST(Hierarchy, ThreeLevelsRunClean) {
+  const auto w = traces::scan_with_hotset(1024, 64, 50000, 0.3, 0.9, 16, 9);
+  auto maps = nested_uniform_maps(1024 * 64, {1, 8, 64});
+  std::vector<LevelConfig> levels(3);
+  levels[0] = {"L1", 128, "item-lru", maps[0], 4.0};
+  levels[1] = {"L2", 1024, "iblp:i=512,b=512", maps[1], 30.0};
+  levels[2] = {"L3", 8192, "iblp:i=2048,b=6144", maps[2], 200.0};
+  HierarchySimulator hs(levels);
+  EXPECT_NO_THROW(hs.run(w.trace));
+  // Miss counts must be monotone down the hierarchy (filtered streams).
+  EXPECT_GE(hs.level_stats(0).accesses, hs.level_stats(1).accesses);
+  EXPECT_GE(hs.level_stats(1).accesses, hs.level_stats(2).accesses);
+}
+
+TEST(Hierarchy, ValidationCatchesMismatchedUniverses) {
+  std::vector<LevelConfig> levels(2);
+  levels[0] = {"L1", 4, "item-lru", make_uniform_blocks(64, 1), 1.0};
+  levels[1] = {"L2", 16, "block-lru", make_uniform_blocks(128, 8), 1.0};
+  EXPECT_THROW(HierarchySimulator hs(levels), gcaching::ContractViolation);
+}
+
+TEST(Hierarchy, ValidationCatchesMissingMap) {
+  std::vector<LevelConfig> levels(1);
+  levels[0] = {"L1", 4, "item-lru", nullptr, 1.0};
+  EXPECT_THROW(HierarchySimulator hs(levels), gcaching::ContractViolation);
+}
+
+TEST(Hierarchy, SingleLevelDegeneratesToSimulate) {
+  const auto w = traces::zipf_blocks(64, 8, 8000, 0.8, 4, 21);
+  std::vector<LevelConfig> levels(1);
+  levels[0] = {"only", 128, "iblp:i=64,b=64", w.map, 50.0};
+  HierarchySimulator hs(levels);
+  hs.run(w.trace);
+  auto policy = make_policy("iblp:i=64,b=64", 128);
+  const SimStats ref = simulate(w, *policy, 128);
+  EXPECT_EQ(hs.level_stats(0).misses, ref.misses);
+}
+
+}  // namespace
+}  // namespace gcaching::hierarchy

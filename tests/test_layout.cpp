@@ -1,0 +1,106 @@
+// Unit tests for item-to-block layout tooling.
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "locality/window_profile.hpp"
+#include "policies/factory.hpp"
+#include "traces/layout.hpp"
+#include "traces/synthetic.hpp"
+
+namespace gcaching::traces {
+namespace {
+
+TEST(RandomLayout, IsAValidPartition) {
+  const auto map = random_layout(100, 8, 1);
+  EXPECT_EQ(map->num_items(), 100u);
+  EXPECT_EQ(map->max_block_size(), 8u);
+  EXPECT_EQ(map->num_blocks(), 13u);  // ceil(100/8)
+}
+
+TEST(RandomLayout, DeterministicBySeed) {
+  const auto a = random_layout(64, 8, 7);
+  const auto b = random_layout(64, 8, 7);
+  const auto c = random_layout(64, 8, 8);
+  std::size_t same_ab = 0, same_ac = 0;
+  for (ItemId it = 0; it < 64; ++it) {
+    same_ab += (a->block_of(it) == b->block_of(it));
+    same_ac += (a->block_of(it) == c->block_of(it));
+  }
+  EXPECT_EQ(same_ab, 64u);
+  EXPECT_LT(same_ac, 64u);
+}
+
+TEST(AffinityLayout, RecoversCoAccessedGroups) {
+  // Trace touches {0,1}, {2,3}, {4,5} always together: affinity clustering
+  // with B = 2 must put each pair in one block.
+  Trace t;
+  for (int rep = 0; rep < 50; ++rep)
+    for (ItemId it : {0u, 1u, 2u, 3u, 4u, 5u}) t.push(it);
+  const auto map = affinity_layout(t, 6, 2, /*window=*/1);
+  EXPECT_EQ(map->block_of(0), map->block_of(1));
+  EXPECT_EQ(map->block_of(2), map->block_of(3));
+  EXPECT_EQ(map->block_of(4), map->block_of(5));
+  EXPECT_NE(map->block_of(1), map->block_of(2));
+}
+
+TEST(AffinityLayout, RespectsBlockSizeCap) {
+  const auto w = traces::zipf_items(200, 1, 5000, 0.8, 3);
+  const auto map = affinity_layout(w.trace, 200, 8);
+  EXPECT_LE(map->max_block_size(), 8u);
+  EXPECT_EQ(map->num_items(), 200u);
+}
+
+TEST(AffinityLayout, PacksNearOptimalBlockCount) {
+  const auto w = traces::zipf_items(256, 1, 4000, 0.5, 9);
+  const auto map = affinity_layout(w.trace, 256, 8);
+  // Packing should not fragment: at most ~1.5x the minimum block count.
+  EXPECT_LE(map->num_blocks(), 48u);  // minimum is 32
+}
+
+TEST(WithLayout, SameTraceNewMap) {
+  const auto w = traces::sequential_scan(64, 8, 128);
+  const auto shuffled = with_layout(w, random_layout(64, 8, 3), "shuffled");
+  EXPECT_EQ(shuffled.trace.size(), w.trace.size());
+  EXPECT_NE(shuffled.name.find("shuffled"), std::string::npos);
+  EXPECT_NO_THROW(shuffled.validate());
+}
+
+TEST(Layout, ShufflingDestroysScanSpatialLocality) {
+  const auto w = traces::sequential_scan(512, 8, 4096);
+  const auto shuffled = with_layout(w, random_layout(512, 8, 5), "rnd");
+  const auto p_orig = locality::compute_profile(w, {64});
+  const auto p_shuf = locality::compute_profile(shuffled, {64});
+  EXPECT_GT(p_orig.spatial_ratio(0), 4.0);
+  EXPECT_LT(p_shuf.spatial_ratio(0), 2.0);
+}
+
+TEST(Layout, AffinityRestoresGcCachePerformance) {
+  // Start from a pointer-chase with NO layout locality (intra_block = 0),
+  // then re-layout by affinity: a GC-aware cache should gain markedly,
+  // because co-chased items now share blocks.
+  const auto chase = traces::pointer_chase(128, 8, 30000, 0.0, 0.02, 11);
+  const auto clustered = with_layout(
+      chase, affinity_layout(chase.trace, chase.map->num_items(), 8),
+      "affinity");
+  auto p1 = make_policy("iblp", 128);
+  auto p2 = make_policy("iblp", 128);
+  const auto before = simulate(chase, *p1, 128);
+  const auto after = simulate(clustered, *p2, 128);
+  EXPECT_LT(after.misses * 2, before.misses);
+}
+
+TEST(Layout, ItemCacheIndifferentToLayout) {
+  // Control: an Item Cache's miss count is layout-invariant (it never
+  // touches block structure).
+  const auto chase = traces::pointer_chase(128, 8, 20000, 0.0, 0.02, 12);
+  const auto clustered = with_layout(
+      chase, affinity_layout(chase.trace, chase.map->num_items(), 8),
+      "affinity");
+  auto p1 = make_policy("item-lru", 64);
+  auto p2 = make_policy("item-lru", 64);
+  EXPECT_EQ(simulate(chase, *p1, 64).misses,
+            simulate(clustered, *p2, 64).misses);
+}
+
+}  // namespace
+}  // namespace gcaching::traces

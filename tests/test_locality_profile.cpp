@@ -1,0 +1,156 @@
+// Unit tests for locality/window_profile and locality/poly_fit: exact
+// working-set measurement and power-law fitting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "locality/poly_fit.hpp"
+#include "locality/window_profile.hpp"
+#include "traces/locality_trace.hpp"
+#include "traces/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace gcaching::locality {
+namespace {
+
+// Brute-force reference for max-distinct-in-window.
+std::size_t brute_max_distinct(const std::vector<std::uint32_t>& keys,
+                               std::size_t n) {
+  std::size_t best = 0;
+  const std::size_t w = std::min(n, keys.size());
+  for (std::size_t s = 0; s + w <= keys.size(); ++s) {
+    std::unordered_set<std::uint32_t> set(keys.begin() + static_cast<long>(s),
+                                          keys.begin() + static_cast<long>(s + w));
+    best = std::max(best, set.size());
+  }
+  return best;
+}
+
+TEST(MaxDistinct, MatchesBruteForceOnRandomTraces) {
+  SplitMix64 rng(404);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::uint32_t> keys;
+    for (int p = 0; p < 200; ++p)
+      keys.push_back(static_cast<std::uint32_t>(rng.below(12)));
+    for (std::size_t n : {1u, 2u, 5u, 17u, 100u, 200u, 500u})
+      EXPECT_EQ(max_distinct_in_windows(keys, n, 12),
+                brute_max_distinct(keys, n))
+          << "round " << round << " n=" << n;
+  }
+}
+
+TEST(MaxDistinct, SingleKeyTrace) {
+  std::vector<std::uint32_t> keys(50, 7);
+  EXPECT_EQ(max_distinct_in_windows(keys, 10, 8), 1u);
+}
+
+TEST(MaxDistinct, AllDistinct) {
+  std::vector<std::uint32_t> keys;
+  for (std::uint32_t i = 0; i < 20; ++i) keys.push_back(i);
+  EXPECT_EQ(max_distinct_in_windows(keys, 5, 20), 5u);
+  EXPECT_EQ(max_distinct_in_windows(keys, 100, 20), 20u);
+}
+
+TEST(DefaultWindows, LogSpacedAndCapped) {
+  const auto ws = default_window_lengths(1000, 2);
+  EXPECT_EQ(ws.front(), 1u);
+  EXPECT_EQ(ws.back(), 1000u);
+  for (std::size_t j = 1; j < ws.size(); ++j) EXPECT_GT(ws[j], ws[j - 1]);
+}
+
+TEST(Profile, SequentialScanHasMaximalSpatialLocality) {
+  const auto w = traces::sequential_scan(256, 8, 2048);
+  const auto prof = compute_profile(w, {8, 64, 256});
+  // In a window of 64 sequential accesses: 64 items, 64/8 + maybe 1 blocks.
+  const double ratio = prof.spatial_ratio(1);
+  EXPECT_GE(ratio, 6.0);
+  EXPECT_LE(ratio, 8.0);
+}
+
+TEST(Profile, StridedScanHasNoSpatialLocality) {
+  const auto w = traces::strided_scan(512, 8, 2048, 8);
+  const auto prof = compute_profile(w, {8, 64});
+  EXPECT_NEAR(prof.spatial_ratio(1), 1.0, 0.05);
+}
+
+TEST(Profile, FAndGAreNondecreasing) {
+  const auto w = traces::zipf_blocks(64, 4, 4000, 0.9, 2, 777);
+  const auto prof = compute_profile(w);
+  EXPECT_TRUE(is_nondecreasing(prof.max_distinct_items));
+  EXPECT_TRUE(is_nondecreasing(prof.max_distinct_blocks));
+}
+
+TEST(Profile, GBetweenFOverBAndF) {
+  const auto w = traces::zipf_blocks(64, 8, 6000, 0.8, 4, 99);
+  const auto prof = compute_profile(w);
+  for (std::size_t s = 0; s < prof.window_lengths.size(); ++s) {
+    EXPECT_LE(prof.max_distinct_blocks[s], prof.max_distinct_items[s]);
+    EXPECT_GE(prof.max_distinct_blocks[s] * 8.0,
+              prof.max_distinct_items[s]);
+  }
+}
+
+TEST(Interpolate, ExactAtSamplePoints) {
+  const auto fn =
+      interpolate_locality({1, 10, 100}, {1.0, 5.0, 20.0});
+  EXPECT_DOUBLE_EQ(fn.value(10), 5.0);
+  EXPECT_DOUBLE_EQ(fn.value(100), 20.0);
+}
+
+TEST(Interpolate, LinearBetweenSamples) {
+  const auto fn = interpolate_locality({10, 20}, {10.0, 20.0});
+  EXPECT_DOUBLE_EQ(fn.value(15), 15.0);
+}
+
+TEST(Interpolate, InverseRoundTrips) {
+  const auto fn =
+      interpolate_locality({1, 10, 100, 1000}, {1.0, 4.0, 12.0, 30.0});
+  for (double m : {2.0, 4.0, 8.0, 25.0})
+    EXPECT_NEAR(fn.value(fn.inverse(m)), m, 1e-9);
+}
+
+TEST(Interpolate, RejectsDecreasingSamples) {
+  EXPECT_THROW(interpolate_locality({1, 2}, {5.0, 3.0}), ContractViolation);
+}
+
+TEST(PolyFit, RecoversExponentFromExactSamples) {
+  // Samples of f(n) = 2 n^{1/3}.
+  std::vector<std::size_t> ns = {1, 8, 64, 512, 4096};
+  std::vector<double> samples;
+  for (std::size_t n : ns)
+    samples.push_back(2.0 * std::cbrt(static_cast<double>(n)));
+  const auto fit = fit_poly_locality(ns, samples);
+  EXPECT_NEAR(fit.p, 3.0, 0.01);
+  EXPECT_NEAR(fit.c, 2.0, 0.01);
+  EXPECT_GT(fit.r_squared, 0.9999);
+}
+
+TEST(PolyFit, MeasuredStackDistanceTraceIsConcavePowerLaw) {
+  const auto w =
+      traces::stack_distance_workload(512, 8, 2.0, 4.0, 60000, 4242);
+  const auto prof = compute_profile(w);
+  const auto fit =
+      fit_poly_locality(prof.window_lengths, prof.max_distinct_items);
+  EXPECT_GT(fit.r_squared, 0.9);  // power law is a good description
+  EXPECT_GT(fit.p, 1.2);          // genuinely concave, not linear
+}
+
+TEST(PolyFit, StackDistanceGammaControlsSpatialRatio) {
+  const auto w_lo =
+      traces::stack_distance_workload(256, 8, 2.0, 1.0, 40000, 5);
+  const auto w_hi =
+      traces::stack_distance_workload(256, 8, 2.0, 8.0, 40000, 5);
+  const auto p_lo = compute_profile(w_lo, {512});
+  const auto p_hi = compute_profile(w_hi, {512});
+  EXPECT_LT(p_lo.spatial_ratio(0), 1.5);
+  EXPECT_GT(p_hi.spatial_ratio(0), 4.0);
+}
+
+TEST(PolyFit, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_poly_locality({1}, {2.0}), ContractViolation);
+  EXPECT_THROW(fit_poly_locality({1, 2}, {0.0, 0.0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gcaching::locality

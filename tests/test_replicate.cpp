@@ -1,0 +1,101 @@
+// Tests for seed replication and the GCM partial-sideload variant.
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "policies/factory.hpp"
+#include "policies/gcm.hpp"
+#include "sim/replicate.hpp"
+#include "traces/synthetic.hpp"
+
+namespace gcaching {
+namespace {
+
+TEST(Replicate, CollectsOneSamplePerSeed) {
+  const auto rep = sim::replicate(
+      [](std::uint64_t seed) {
+        return traces::zipf_blocks(32, 8, 4000, 0.9, 4, seed);
+      },
+      "iblp", 64, sim::miss_rate_metric, 6, 100);
+  EXPECT_EQ(rep.samples.size(), 6u);
+  for (double v : rep.samples) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Replicate, DeterministicAcrossThreadCounts) {
+  auto gen = [](std::uint64_t seed) {
+    return traces::scan_with_hotset(64, 8, 6000, 0.3, 0.9, 4, seed);
+  };
+  const auto serial =
+      sim::replicate(gen, "gcm", 64, sim::miss_rate_metric, 5, 7, 1);
+  const auto parallel =
+      sim::replicate(gen, "gcm", 64, sim::miss_rate_metric, 5, 7, 8);
+  ASSERT_EQ(serial.samples.size(), parallel.samples.size());
+  for (std::size_t j = 0; j < serial.samples.size(); ++j)
+    EXPECT_DOUBLE_EQ(serial.samples[j], parallel.samples[j]);
+}
+
+TEST(Replicate, StatsArithmetic) {
+  sim::Replication rep;
+  rep.samples = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(rep.mean(), 2.5);
+  EXPECT_NEAR(rep.stddev(), 1.2909944, 1e-6);
+  EXPECT_DOUBLE_EQ(rep.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rep.max(), 4.0);
+}
+
+TEST(Replicate, SingleSampleStddevZero) {
+  sim::Replication rep;
+  rep.samples = {0.5};
+  EXPECT_DOUBLE_EQ(rep.stddev(), 0.0);
+}
+
+TEST(Replicate, RejectsZeroReplicas) {
+  EXPECT_THROW(sim::replicate([](std::uint64_t) { return Workload{}; },
+                              "item-lru", 4, sim::miss_rate_metric, 0),
+               ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// GCM partial sideload
+// ---------------------------------------------------------------------------
+
+TEST(GcmSideload, CapLimitsLoadsPerMiss) {
+  auto map = make_uniform_blocks(16, 8);
+  Gcm capped(1, /*max_sideload=*/3);
+  Simulation sim(*map, capped, 16);
+  sim.access(0);
+  EXPECT_EQ(sim.cache().occupancy(), 4u);  // requested + 3 sideloads
+  EXPECT_EQ(sim.stats().sideloads, 3u);
+}
+
+TEST(GcmSideload, ZeroMeansWholeBlock) {
+  auto map = make_uniform_blocks(16, 8);
+  Gcm full(1, 0);
+  Simulation sim(*map, full, 16);
+  sim.access(0);
+  EXPECT_EQ(sim.cache().occupancy(), 8u);
+}
+
+TEST(GcmSideload, NameReflectsCap) {
+  EXPECT_EQ(Gcm(1).name(), "gcm");
+  EXPECT_EQ(Gcm(1, 4).name(), "gcm(sideload=4)");
+  auto via_factory = make_policy("gcm:sideload=4", 32);
+  EXPECT_EQ(via_factory->name(), "gcm(sideload=4)");
+}
+
+TEST(GcmSideload, InterpolatesBetweenMarkingExtremes) {
+  const auto w = traces::zipf_blocks(128, 16, 40000, 0.9, 12, 13);
+  auto none = make_policy("marking-item:seed=3", 128);
+  auto some = make_policy("gcm:seed=3,sideload=6", 128);
+  auto all = make_policy("gcm:seed=3", 128);
+  const auto m_none = simulate(w, *none, 128).misses;
+  const auto m_some = simulate(w, *some, 128).misses;
+  const auto m_all = simulate(w, *all, 128).misses;
+  EXPECT_LT(m_some, m_none);
+  EXPECT_LT(m_all, m_some);
+}
+
+}  // namespace
+}  // namespace gcaching

@@ -1,0 +1,113 @@
+// Unit tests for the thread pool and the parallel sweep runner.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "sim/runner.hpp"
+#include "sim/thread_pool.hpp"
+#include "traces/synthetic.hpp"
+#include "util/contracts.hpp"
+
+namespace gcaching {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  pool.parallel_for(50, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  ThreadPool pool(2);
+  pool.submit([] { GC_REQUIRE(false, "task exploded"); });
+  EXPECT_THROW(pool.wait(), ContractViolation);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(Runner, ProducesFullCrossProduct) {
+  std::vector<Workload> workloads;
+  workloads.push_back(traces::zipf_items(64, 8, 2000, 0.8, 1));
+  workloads.push_back(traces::sequential_scan(64, 8, 2000));
+  sim::SweepSpec spec;
+  spec.workloads = &workloads;
+  spec.policy_specs = {"item-lru", "block-lru", "iblp"};
+  spec.capacities = {16, 32};
+  const auto cells = sim::run_sweep(spec);
+  ASSERT_EQ(cells.size(), 2u * 3u * 2u);
+  for (const auto& cell : cells) {
+    EXPECT_EQ(cell.stats.accesses, 2000u);
+    EXPECT_GT(cell.stats.misses, 0u);
+  }
+}
+
+TEST(Runner, DeterministicAcrossThreadCounts) {
+  std::vector<Workload> workloads;
+  workloads.push_back(traces::zipf_blocks(32, 8, 5000, 0.9, 3, 17));
+  sim::SweepSpec spec;
+  spec.workloads = &workloads;
+  spec.policy_specs = {"item-lru", "gcm:seed=5", "iblp:i=16,b=16"};
+  spec.capacities = {32};
+  spec.threads = 1;
+  const auto serial = sim::run_sweep(spec);
+  spec.threads = 8;
+  const auto parallel = sim::run_sweep(spec);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t c = 0; c < serial.size(); ++c)
+    EXPECT_EQ(serial[c].stats.misses, parallel[c].stats.misses);
+}
+
+TEST(Runner, RowMajorOrdering) {
+  std::vector<Workload> workloads;
+  workloads.push_back(traces::sequential_scan(16, 4, 100));
+  sim::SweepSpec spec;
+  spec.workloads = &workloads;
+  spec.policy_specs = {"item-lru", "block-lru"};
+  spec.capacities = {4, 8};
+  const auto cells = sim::run_sweep(spec);
+  EXPECT_EQ(cells[0].policy_index, 0u);
+  EXPECT_EQ(cells[0].capacity, 4u);
+  EXPECT_EQ(cells[1].capacity, 8u);
+  EXPECT_EQ(cells[2].policy_index, 1u);
+}
+
+TEST(Runner, BadSpecThrows) {
+  sim::SweepSpec spec;
+  EXPECT_THROW(sim::run_sweep(spec), ContractViolation);
+}
+
+TEST(Runner, UnknownPolicySurfacesError) {
+  std::vector<Workload> workloads;
+  workloads.push_back(traces::sequential_scan(16, 4, 100));
+  sim::SweepSpec spec;
+  spec.workloads = &workloads;
+  spec.policy_specs = {"definitely-not-a-policy"};
+  spec.capacities = {4};
+  EXPECT_THROW(sim::run_sweep(spec), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gcaching

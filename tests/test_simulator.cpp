@@ -1,0 +1,135 @@
+// Unit tests for core/simulator: accounting, classification, end-to-end
+// consistency of the verifying simulator.
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "policies/block_lru.hpp"
+#include "policies/item_lru.hpp"
+#include "util/contracts.hpp"
+
+namespace gcaching {
+namespace {
+
+TEST(Simulator, EmptyTrace) {
+  auto map = make_uniform_blocks(8, 4);
+  ItemLru lru;
+  const SimStats s = simulate(*map, Trace{}, lru, 4);
+  EXPECT_EQ(s.accesses, 0u);
+  EXPECT_EQ(s.misses, 0u);
+}
+
+TEST(Simulator, ColdMissesThenHits) {
+  auto map = make_uniform_blocks(8, 4);
+  ItemLru lru;
+  const SimStats s = simulate(*map, Trace({0, 1, 0, 1}), lru, 4);
+  EXPECT_EQ(s.accesses, 4u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.temporal_hits, 2u);
+  EXPECT_EQ(s.spatial_hits, 0u);
+}
+
+TEST(Simulator, SpatialHitsWithBlockCache) {
+  auto map = make_uniform_blocks(8, 4);
+  BlockLru blk;
+  // Miss on 0 loads 0..3; hits on 1, 2, 3 are spatial; second hit temporal.
+  const SimStats s = simulate(*map, Trace({0, 1, 2, 3, 1}), blk, 8);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.spatial_hits, 3u);
+  EXPECT_EQ(s.temporal_hits, 1u);
+  EXPECT_EQ(s.items_loaded, 4u);
+  EXPECT_EQ(s.sideloads, 3u);
+}
+
+TEST(Simulator, StatsIdentities) {
+  auto map = make_uniform_blocks(32, 4);
+  ItemLru lru;
+  const SimStats s =
+      simulate(*map, Trace({0, 4, 8, 0, 12, 4, 16, 20, 0, 8}), lru, 3);
+  EXPECT_EQ(s.hits + s.misses, s.accesses);
+  EXPECT_EQ(s.temporal_hits + s.spatial_hits, s.hits);
+  EXPECT_GE(s.items_loaded, s.misses);  // at least the requested item
+}
+
+TEST(Simulator, AccessOutsideUniverseThrows) {
+  auto map = make_uniform_blocks(4, 2);
+  ItemLru lru;
+  Simulation sim(*map, lru, 2);
+  EXPECT_THROW(sim.access(4), ContractViolation);
+}
+
+TEST(Simulator, WorkloadOverload) {
+  Workload w;
+  w.map = make_uniform_blocks(8, 4);
+  w.trace = Trace({0, 1, 2});
+  ItemLru lru;
+  const SimStats s = simulate(w, lru, 4);
+  EXPECT_EQ(s.accesses, 3u);
+}
+
+TEST(Simulator, StepwiseMatchesBatch) {
+  auto map = make_uniform_blocks(16, 4);
+  const Trace trace({0, 5, 9, 0, 13, 5, 1, 2, 0, 9});
+  ItemLru a, b;
+  const SimStats batch = simulate(*map, trace, a, 3);
+  Simulation sim(*map, b, 3);
+  for (ItemId it : trace) sim.access(it);
+  EXPECT_EQ(batch.misses, sim.stats().misses);
+  EXPECT_EQ(batch.hits, sim.stats().hits);
+}
+
+TEST(Simulator, EvictionStatsFlowThrough) {
+  auto map = make_uniform_blocks(8, 4);
+  ItemLru lru;
+  // capacity 1: every distinct access evicts the previous item.
+  const SimStats s = simulate(*map, Trace({0, 1, 2, 3}), lru, 1);
+  EXPECT_EQ(s.misses, 4u);
+  EXPECT_EQ(s.evictions, 3u);
+}
+
+TEST(Simulator, WastedSideloadsSurface) {
+  auto map = make_uniform_blocks(8, 4);
+  BlockLru blk;
+  // Load block 0 (4 items), only item 0 used; then block 1 evicts block 0.
+  const SimStats s = simulate(*map, Trace({0, 4}), blk, 4);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.wasted_sideloads, 3u);  // items 1, 2, 3 evicted untouched
+}
+
+TEST(SimStats, SummaryMentionsKeyFields) {
+  SimStats s;
+  s.accesses = 10;
+  s.misses = 4;
+  s.hits = 6;
+  const std::string txt = s.summary();
+  EXPECT_NE(txt.find("accesses=10"), std::string::npos);
+  EXPECT_NE(txt.find("misses=4"), std::string::npos);
+}
+
+TEST(SimStats, Rates) {
+  SimStats s;
+  s.accesses = 8;
+  s.misses = 2;
+  s.hits = 6;
+  s.spatial_hits = 3;
+  s.temporal_hits = 3;
+  s.items_loaded = 6;
+  EXPECT_DOUBLE_EQ(s.miss_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.75);
+  EXPECT_DOUBLE_EQ(s.spatial_hit_share(), 0.5);
+  EXPECT_DOUBLE_EQ(s.loads_per_miss(), 3.0);
+}
+
+TEST(SimStats, Accumulate) {
+  SimStats a, b;
+  a.accesses = 3;
+  a.misses = 1;
+  b.accesses = 2;
+  b.misses = 2;
+  a += b;
+  EXPECT_EQ(a.accesses, 5u);
+  EXPECT_EQ(a.misses, 3u);
+}
+
+}  // namespace
+}  // namespace gcaching

@@ -1,0 +1,161 @@
+// Unit tests for the synthetic workload generators.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "traces/synthetic.hpp"
+#include "util/contracts.hpp"
+
+namespace gcaching::traces {
+namespace {
+
+TEST(ZipfItems, LengthAndRange) {
+  const auto w = zipf_items(100, 10, 5000, 0.9, 1);
+  w.validate();
+  EXPECT_EQ(w.trace.size(), 5000u);
+  EXPECT_EQ(w.map->num_items(), 100u);
+  EXPECT_EQ(w.map->max_block_size(), 10u);
+}
+
+TEST(ZipfItems, DeterministicGivenSeed) {
+  const auto a = zipf_items(64, 8, 1000, 0.8, 7);
+  const auto b = zipf_items(64, 8, 1000, 0.8, 7);
+  for (std::size_t p = 0; p < 1000; ++p) EXPECT_EQ(a.trace[p], b.trace[p]);
+}
+
+TEST(ZipfItems, SeedChangesTrace) {
+  const auto a = zipf_items(64, 8, 1000, 0.8, 1);
+  const auto b = zipf_items(64, 8, 1000, 0.8, 2);
+  std::size_t same = 0;
+  for (std::size_t p = 0; p < 1000; ++p) same += (a.trace[p] == b.trace[p]);
+  EXPECT_LT(same, 500u);
+}
+
+TEST(ZipfItems, SkewConcentratesOnHotItems) {
+  const auto w = zipf_items(1000, 10, 20000, 1.2, 3);
+  std::size_t top = 0;
+  for (ItemId it : w.trace) top += (it < 10);
+  EXPECT_GT(top, w.trace.size() / 3);
+}
+
+TEST(ZipfBlocks, SpanControlsRunLengths) {
+  const auto w = zipf_blocks(32, 8, 4000, 0.8, 4, 5);
+  w.validate();
+  // Consecutive accesses within a span stay in one block and are
+  // consecutive item ids.
+  std::size_t in_block_steps = 0, total_steps = 0;
+  for (std::size_t p = 1; p < w.trace.size(); ++p) {
+    ++total_steps;
+    if (w.map->block_of(w.trace[p]) == w.map->block_of(w.trace[p - 1]))
+      ++in_block_steps;
+  }
+  // span=4: ~3 of every 4 steps stay within a block.
+  EXPECT_GT(in_block_steps * 2, total_steps);
+}
+
+TEST(ZipfBlocks, SpanOneGivesSingleItemVisits) {
+  const auto w = zipf_blocks(32, 8, 2000, 0.0, 1, 6);
+  w.validate();
+  EXPECT_EQ(w.trace.size(), 2000u);
+}
+
+TEST(ZipfBlocks, InvalidSpanThrows) {
+  EXPECT_THROW(zipf_blocks(8, 4, 100, 0.5, 0, 1), ContractViolation);
+  EXPECT_THROW(zipf_blocks(8, 4, 100, 0.5, 5, 1), ContractViolation);
+}
+
+TEST(SequentialScan, WrapsAround) {
+  const auto w = sequential_scan(10, 5, 25);
+  EXPECT_EQ(w.trace[0], 0u);
+  EXPECT_EQ(w.trace[9], 9u);
+  EXPECT_EQ(w.trace[10], 0u);
+  EXPECT_EQ(w.trace[24], 4u);
+}
+
+TEST(StridedScan, TouchesOneItemPerBlockWhenStrideIsB) {
+  const auto w = strided_scan(64, 8, 8, 8);
+  for (std::size_t p = 1; p < w.trace.size(); ++p)
+    EXPECT_NE(w.map->block_of(w.trace[p]), w.map->block_of(w.trace[p - 1]));
+}
+
+TEST(WorkingSetPhases, RespectsWorkingSetSize) {
+  const auto w = working_set_phases(1000, 10, 5000, 20, 500, 9);
+  w.validate();
+  // Every 500-access phase touches at most 20 distinct items.
+  for (std::size_t phase = 0; phase * 500 < w.trace.size(); ++phase) {
+    std::unordered_set<ItemId> seen;
+    const std::size_t start = phase * 500;
+    const std::size_t end = std::min(w.trace.size(), start + 500);
+    for (std::size_t p = start; p < end; ++p) seen.insert(w.trace[p]);
+    EXPECT_LE(seen.size(), 20u);
+  }
+}
+
+TEST(HotItemPerBlock, ZeroColdFractionTouchesOnlyHotItems) {
+  const auto w = hot_item_per_block(16, 8, 2000, 16, 0.0, 11);
+  for (ItemId it : w.trace) EXPECT_EQ(it % 8, 0u);
+}
+
+TEST(HotItemPerBlock, ColdFractionTouchesSiblings) {
+  const auto w = hot_item_per_block(16, 8, 4000, 16, 0.5, 11);
+  std::size_t cold = 0;
+  for (ItemId it : w.trace) cold += (it % 8 != 0);
+  EXPECT_NEAR(static_cast<double>(cold) / 4000.0, 0.5, 0.05);
+}
+
+TEST(ScanWithHotset, MixtureContainsBothPatterns) {
+  const auto w = scan_with_hotset(64, 8, 10000, 0.5, 1.0, 4, 13);
+  w.validate();
+  EXPECT_EQ(w.trace.size(), 10000u);
+  // The scan component covers cold blocks the hotset would rarely touch.
+  std::unordered_set<BlockId> blocks;
+  for (ItemId it : w.trace) blocks.insert(w.map->block_of(it));
+  EXPECT_GT(blocks.size(), 32u);
+}
+
+TEST(PointerChase, WalkFollowsFixedSuccessors) {
+  // Zero restart probability: the walk is fully determined by the graph,
+  // so re-generating yields the identical trace.
+  const auto a = pointer_chase(32, 8, 3000, 0.5, 0.0, 9);
+  const auto b = pointer_chase(32, 8, 3000, 0.5, 0.0, 9);
+  for (std::size_t p = 0; p < a.trace.size(); ++p)
+    EXPECT_EQ(a.trace[p], b.trace[p]);
+}
+
+TEST(PointerChase, IntraBlockKnobControlsSpatialLocality) {
+  const auto local = pointer_chase(64, 8, 8000, 0.95, 0.01, 4);
+  const auto scattered = pointer_chase(64, 8, 8000, 0.0, 0.01, 4);
+  auto same_block_rate = [](const Workload& w) {
+    std::size_t same = 0;
+    for (std::size_t p = 1; p < w.trace.size(); ++p)
+      same += (w.map->block_of(w.trace[p]) ==
+               w.map->block_of(w.trace[p - 1]));
+    return static_cast<double>(same) /
+           static_cast<double>(w.trace.size() - 1);
+  };
+  EXPECT_GT(same_block_rate(local), 0.7);
+  EXPECT_LT(same_block_rate(scattered), 0.2);
+}
+
+TEST(PointerChase, ValidWorkload) {
+  const auto w = pointer_chase(16, 4, 2000, 0.5, 0.05, 2);
+  EXPECT_NO_THROW(w.validate());
+  EXPECT_EQ(w.trace.size(), 2000u);
+}
+
+TEST(PointerChase, RejectsBadProbabilities) {
+  EXPECT_THROW(pointer_chase(8, 4, 100, 1.5, 0.0, 1), ContractViolation);
+  EXPECT_THROW(pointer_chase(8, 4, 100, 0.5, -0.1, 1), ContractViolation);
+}
+
+TEST(Generators, NamesDescribeParameters) {
+  EXPECT_NE(zipf_items(8, 2, 10, 0.5, 1).name.find("zipf-items"),
+            std::string::npos);
+  EXPECT_NE(sequential_scan(8, 2, 10).name.find("seq-scan"),
+            std::string::npos);
+  EXPECT_NE(hot_item_per_block(4, 2, 10, 4, 0.1, 1).name.find("hot-item"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace gcaching::traces

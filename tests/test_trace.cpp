@@ -1,0 +1,136 @@
+// Unit tests for core/trace and core/trace_io.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/trace.hpp"
+#include "core/trace_io.hpp"
+#include "util/contracts.hpp"
+
+namespace gcaching {
+namespace {
+
+TEST(Trace, PushAndIterate) {
+  Trace t;
+  t.push(3);
+  t.push(1);
+  t.push(3);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], 3u);
+  EXPECT_EQ(t[1], 1u);
+  std::size_t count = 0;
+  for (ItemId it : t) {
+    (void)it;
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(Trace, DistinctItems) {
+  Trace t({1, 2, 2, 3, 1});
+  EXPECT_EQ(t.distinct_items(), 3u);
+}
+
+TEST(Trace, MaxItem) {
+  Trace t({5, 2, 9, 1});
+  EXPECT_EQ(t.max_item(), 9u);
+  EXPECT_EQ(Trace{}.max_item(), kInvalidItem);
+}
+
+TEST(Trace, Append) {
+  Trace a({1, 2});
+  Trace b({3});
+  a.append(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[2], 3u);
+}
+
+TEST(Workload, DistinctBlocks) {
+  Workload w;
+  w.map = make_uniform_blocks(8, 4);
+  w.trace = Trace({0, 1, 2, 5});
+  EXPECT_EQ(w.distinct_blocks(), 2u);
+}
+
+TEST(Workload, ValidateCatchesOutOfRange) {
+  Workload w;
+  w.map = make_uniform_blocks(4, 2);
+  w.trace = Trace({0, 7});
+  EXPECT_THROW(w.validate(), ContractViolation);
+}
+
+TEST(TraceIo, RoundTripUniform) {
+  Workload w;
+  w.map = make_uniform_blocks(16, 4);
+  w.trace = Trace({0, 5, 5, 12, 3});
+  w.name = "round trip test";
+  std::ostringstream os;
+  save_workload(os, w);
+  std::istringstream is(os.str());
+  const Workload back = load_workload(is);
+  EXPECT_EQ(back.name, w.name);
+  EXPECT_EQ(back.map->num_items(), 16u);
+  EXPECT_EQ(back.map->max_block_size(), 4u);
+  ASSERT_EQ(back.trace.size(), w.trace.size());
+  for (std::size_t p = 0; p < w.trace.size(); ++p)
+    EXPECT_EQ(back.trace[p], w.trace[p]);
+  // Uniform maps round-trip as uniform.
+  EXPECT_NE(dynamic_cast<const UniformBlockMap*>(back.map.get()), nullptr);
+}
+
+TEST(TraceIo, RoundTripExplicit) {
+  Workload w;
+  w.map = std::make_shared<ExplicitBlockMap>(
+      std::vector<std::vector<ItemId>>{{0, 3}, {1, 2}, {4}});
+  w.trace = Trace({4, 0, 1});
+  std::ostringstream os;
+  save_workload(os, w);
+  std::istringstream is(os.str());
+  const Workload back = load_workload(is);
+  EXPECT_EQ(back.map->num_blocks(), 3u);
+  EXPECT_EQ(back.map->block_of(3), 0u);
+  EXPECT_EQ(back.map->block_of(2), 1u);
+  EXPECT_EQ(back.trace.size(), 3u);
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\n"
+      "gcworkload v1\n"
+      "\n"
+      "items 4 blocks 2 maxblock 2\n"
+      "# another\n"
+      "uniform 2\n"
+      "trace 2\n"
+      "0 3\n";
+  std::istringstream is(text);
+  const Workload w = load_workload(is);
+  EXPECT_EQ(w.trace.size(), 2u);
+  EXPECT_EQ(w.map->num_blocks(), 2u);
+}
+
+TEST(TraceIo, MissingHeaderFails) {
+  std::istringstream is("items 4 blocks 2 maxblock 2\n");
+  EXPECT_THROW(load_workload(is), std::runtime_error);
+}
+
+TEST(TraceIo, TruncatedTraceFails) {
+  const std::string text =
+      "gcworkload v1\nitems 4 blocks 2 maxblock 2\nuniform 2\ntrace 3\n0 1\n";
+  std::istringstream is(text);
+  EXPECT_THROW(load_workload(is), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  Workload w;
+  w.map = make_uniform_blocks(6, 3);
+  w.trace = Trace({0, 1, 5});
+  const std::string path = ::testing::TempDir() + "gc_trace_io_test.txt";
+  save_workload_file(path, w);
+  const Workload back = load_workload_file(path);
+  EXPECT_EQ(back.trace.size(), 3u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gcaching

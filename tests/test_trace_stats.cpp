@@ -1,0 +1,78 @@
+// Unit tests for the trace-statistics module.
+#include <gtest/gtest.h>
+
+#include "locality/trace_stats.hpp"
+#include "traces/synthetic.hpp"
+
+namespace gcaching::locality {
+namespace {
+
+Workload tiny(std::vector<ItemId> acc, std::size_t n, std::size_t B) {
+  Workload w;
+  w.map = make_uniform_blocks(n, B);
+  w.trace = Trace(std::move(acc));
+  w.name = "tiny";
+  return w;
+}
+
+TEST(TraceStats, EmptyTrace) {
+  const auto s = compute_trace_stats(tiny({}, 8, 4));
+  EXPECT_EQ(s.accesses, 0u);
+  EXPECT_EQ(s.distinct_items, 0u);
+}
+
+TEST(TraceStats, DistinctCounts) {
+  const auto s = compute_trace_stats(tiny({0, 1, 4, 0, 4}, 8, 4));
+  EXPECT_EQ(s.accesses, 5u);
+  EXPECT_EQ(s.distinct_items, 3u);
+  EXPECT_EQ(s.distinct_blocks, 2u);
+}
+
+TEST(TraceStats, BlockFootprints) {
+  // Block 0 touched at items {0, 1}; block 1 at {4}: mean = 1.5.
+  const auto s = compute_trace_stats(tiny({0, 1, 4, 0}, 8, 4));
+  EXPECT_DOUBLE_EQ(s.mean_block_footprint, 1.5);
+}
+
+TEST(TraceStats, SpatialRuns) {
+  // Runs by block: [0,1] [4] [0] -> lengths 2, 1, 1.
+  const auto s = compute_trace_stats(tiny({0, 1, 4, 0}, 8, 4));
+  EXPECT_DOUBLE_EQ(s.mean_spatial_run, 4.0 / 3.0);
+  EXPECT_EQ(s.max_spatial_run, 2u);
+}
+
+TEST(TraceStats, SequentialScanHasLongRuns) {
+  const auto w = traces::sequential_scan(64, 8, 64);
+  const auto s = compute_trace_stats(w);
+  EXPECT_DOUBLE_EQ(s.mean_spatial_run, 8.0);
+  EXPECT_EQ(s.max_spatial_run, 8u);
+  EXPECT_DOUBLE_EQ(s.mean_block_footprint, 8.0);
+}
+
+TEST(TraceStats, StridedScanHasUnitRuns) {
+  const auto w = traces::strided_scan(64, 8, 64, 8);
+  const auto s = compute_trace_stats(w);
+  EXPECT_DOUBLE_EQ(s.mean_spatial_run, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean_block_footprint, 1.0);
+}
+
+TEST(TraceStats, ReuseQuantiles) {
+  // a b a b a b: reuse distances all 2 (4 finite accesses), cold 2.
+  const auto s = compute_trace_stats(tiny({0, 1, 0, 1, 0, 1}, 8, 4));
+  EXPECT_EQ(s.cold_accesses, 2u);
+  EXPECT_EQ(s.reuse_distance_quantiles[0], 2u);  // median
+  EXPECT_EQ(s.reuse_distance_quantiles[2], 2u);  // p99
+}
+
+TEST(TraceStats, HotItemWorkloadShapes) {
+  const auto w = traces::hot_item_per_block(32, 8, 8000, 32, 0.0, 3);
+  const auto s = compute_trace_stats(w);
+  EXPECT_DOUBLE_EQ(s.mean_block_footprint, 1.0);  // one item per block
+  EXPECT_LT(s.mean_spatial_run, 1.5);
+  // Uniform over 32 items: median reuse distance ~ 32-ish.
+  EXPECT_GT(s.reuse_distance_quantiles[0], 8u);
+  EXPECT_LT(s.reuse_distance_quantiles[0], 64u);
+}
+
+}  // namespace
+}  // namespace gcaching::locality

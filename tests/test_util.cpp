@@ -1,0 +1,253 @@
+// Unit tests for src/util: rng, zipf, mathx, table, csv, contracts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "util/contracts.hpp"
+#include "util/csv.hpp"
+#include "util/mathx.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/zipf.hpp"
+
+namespace gcaching {
+namespace {
+
+TEST(Contracts, RequireThrowsWithContext) {
+  try {
+    GC_REQUIRE(1 == 2, "math broke");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("math broke"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Contracts, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(GC_REQUIRE(true, ""));
+  EXPECT_NO_THROW(GC_ENSURE(2 + 2 == 4, ""));
+  EXPECT_NO_THROW(GC_CHECK(true, ""));
+}
+
+TEST(SplitMix64, DeterministicGivenSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(SplitMix64, BelowRespectsBound) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(SplitMix64, BelowCoversRange) {
+  SplitMix64 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(SplitMix64, BetweenInclusive) {
+  SplitMix64 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.between(5, 7);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(SplitMix64, Uniform01InRange) {
+  SplitMix64 rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(SplitMix64, BelowZeroBoundThrows) {
+  SplitMix64 rng(1);
+  EXPECT_THROW(rng.below(0), ContractViolation);
+}
+
+TEST(SplitMix64, SplitStreamsIndependent) {
+  SplitMix64 base(3);
+  SplitMix64 s1 = base.split();
+  SplitMix64 s2 = base.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (s1() == s2());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Zipf, Theta0IsUniform) {
+  SplitMix64 rng(5);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Zipf, RankZeroMostPopular) {
+  SplitMix64 rng(6);
+  ZipfSampler zipf(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[500]);
+}
+
+TEST(Zipf, MatchesTheoreticalHeadProbability) {
+  // For theta = 1, n = 100: P(rank 0) = 1/H_100 ~= 0.1928.
+  SplitMix64 rng(8);
+  ZipfSampler zipf(100, 1.0);
+  double h100 = 0;
+  for (int i = 1; i <= 100; ++i) h100 += 1.0 / i;
+  int head = 0;
+  const int kTrials = 300000;
+  for (int i = 0; i < kTrials; ++i) head += (zipf(rng) == 0);
+  EXPECT_NEAR(static_cast<double>(head) / kTrials, 1.0 / h100, 0.01);
+}
+
+TEST(Zipf, SingleElementUniverse) {
+  SplitMix64 rng(1);
+  ZipfSampler zipf(1, 0.8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf(rng), 0u);
+}
+
+TEST(Zipf, HighThetaConcentrates) {
+  SplitMix64 rng(2);
+  ZipfSampler zipf(10000, 1.5);
+  int in_top10 = 0;
+  for (int i = 0; i < 20000; ++i) in_top10 += (zipf(rng) < 10);
+  EXPECT_GT(in_top10, 20000 / 2);
+}
+
+TEST(Mathx, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+  EXPECT_EQ(ceil_div(8, 4), 2u);
+  EXPECT_EQ(ceil_div(7, 1), 7u);
+}
+
+TEST(Mathx, Ipow) {
+  EXPECT_EQ(ipow(2, 10), 1024u);
+  EXPECT_EQ(ipow(3, 0), 1u);
+  EXPECT_EQ(ipow(10, 3), 1000u);
+}
+
+TEST(Mathx, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(1e12, 1e12 * (1 + 1e-10)));
+}
+
+TEST(Mathx, GoldenMinFindsParabolaMinimum) {
+  const double xmin =
+      golden_min([](double x) { return (x - 3.7) * (x - 3.7); }, 0.0, 10.0);
+  EXPECT_NEAR(xmin, 3.7, 1e-5);
+}
+
+TEST(Mathx, GoldenMinOnBoundary) {
+  const double xmin = golden_min([](double x) { return x; }, 2.0, 5.0);
+  EXPECT_NEAR(xmin, 2.0, 1e-4);
+}
+
+TEST(Mathx, BisectFirstTrue) {
+  const auto first = bisect_first_true(0, 100, [](std::uint64_t x) {
+    return x >= 37;
+  });
+  EXPECT_EQ(first, 37u);
+}
+
+TEST(Mathx, BisectNeverTrueReturnsPastEnd) {
+  const auto first =
+      bisect_first_true(0, 10, [](std::uint64_t) { return false; });
+  EXPECT_EQ(first, 11u);
+}
+
+TEST(Mathx, BisectAllTrueReturnsLow) {
+  const auto first =
+      bisect_first_true(5, 10, [](std::uint64_t) { return true; });
+  EXPECT_EQ(first, 5u);
+}
+
+TEST(TextTable, RendersHeadersAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"beta", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(TextTable, FormatHelpers) {
+  EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::fmt_ratio(std::numeric_limits<double>::infinity()),
+            "inf");
+  EXPECT_EQ(TextTable::fmt_int(42), "42");
+}
+
+TEST(TextTable, SeparatorRows) {
+  TextTable t({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  EXPECT_EQ(t.num_rows(), 3u);  // separator counts as a row entry
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Csv, QuoteRules) {
+  EXPECT_EQ(CsvWriter::quote("plain"), "plain");
+  EXPECT_EQ(CsvWriter::quote("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesFile) {
+  const std::string path = ::testing::TempDir() + "gc_csv_test.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    w.add_row({"1", "x,y"});
+    EXPECT_EQ(w.rows_written(), 1u);
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,b");
+  EXPECT_EQ(line2, "1,\"x,y\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WidthMismatchThrows) {
+  const std::string path = ::testing::TempDir() + "gc_csv_test2.csv";
+  CsvWriter w(path, {"a", "b"});
+  EXPECT_THROW(w.add_row({"1"}), ContractViolation);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gcaching

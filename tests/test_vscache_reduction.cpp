@@ -1,0 +1,131 @@
+// Tests for the variable-size caching substrate and the Theorem 1
+// reduction: OPT of the variable-size instance must equal OPT of the
+// reduced GC instance (this is the heart of the NP-completeness proof).
+#include <gtest/gtest.h>
+
+#include "offline/exact_opt.hpp"
+#include "traces/reduction.hpp"
+#include "util/rng.hpp"
+#include "vscache/vs_instance.hpp"
+
+namespace gcaching {
+namespace {
+
+using vscache::VsInstance;
+using vscache::VsTrace;
+
+TEST(VsExactOpt, EmptyTrace) {
+  VsInstance inst{{1, 2}, 3};
+  EXPECT_EQ(vs_exact_opt(inst, {}), 0u);
+}
+
+TEST(VsExactOpt, ColdFaultsOnly) {
+  VsInstance inst{{1, 1, 1}, 3};
+  EXPECT_EQ(vs_exact_opt(inst, {0, 1, 2, 0, 1, 2}), 3u);
+}
+
+TEST(VsExactOpt, SizePressureForcesRefaults) {
+  // Two size-2 items in a size-2 cache: they alternate, every access faults
+  // after the first round.
+  VsInstance inst{{2, 2}, 2};
+  EXPECT_EQ(vs_exact_opt(inst, {0, 1, 0, 1}), 4u);
+}
+
+TEST(VsExactOpt, KeepsSmallItemsUnderPressure) {
+  // Sizes {2, 1, 1}, capacity 2: OPT keeps the two unit items across the
+  // big item's visits? It cannot (2+1 > 2) — classic knapsack-y choice.
+  VsInstance inst{{2, 1, 1}, 2};
+  // 1,2 fit together; 0 alone. Trace: 1 2 0 1 2 -> faults: 1,2,0 cold; then
+  // 1,2 must re-fault or 0 displaced... Optimal: 3 cold + re-fault 1 and 2
+  // OR keep {1,2} and fault 0's visit only; but 0 needs the full cache.
+  // Best: 1,2 cold (2), 0 cold evicting both (1), 1,2 again (2) = 5? or
+  // serve 0, keep nothing: same. Exact solver decides; assert the value
+  // computed by hand: 5.
+  EXPECT_EQ(vs_exact_opt(inst, {1, 2, 0, 1, 2}), 5u);
+}
+
+TEST(VsExactOpt, ValidationCatchesBadInstances) {
+  VsInstance zero_size{{0, 1}, 2};
+  EXPECT_THROW(vs_exact_opt(zero_size, {0}), ContractViolation);
+  VsInstance too_big{{3}, 2};
+  EXPECT_THROW(vs_exact_opt(too_big, {0}), ContractViolation);
+}
+
+TEST(Reduction, StructureMatchesTheorem1) {
+  VsInstance inst{{2, 1, 3}, 4};
+  const VsTrace vs_trace{0, 2, 1};
+  const auto red = traces::reduce_vs_to_gc(inst, vs_trace);
+  // One block per vs item, block size = item size.
+  EXPECT_EQ(red.workload.map->num_blocks(), 3u);
+  EXPECT_EQ(red.workload.map->block_size(red.block_of_vs_item[0]), 2u);
+  EXPECT_EQ(red.workload.map->block_size(red.block_of_vs_item[1]), 1u);
+  EXPECT_EQ(red.workload.map->block_size(red.block_of_vs_item[2]), 3u);
+  // Each vs access expands to z^2 accesses.
+  EXPECT_EQ(red.workload.trace.size(), 4u + 9u + 1u);
+  EXPECT_EQ(red.capacity, 4u);
+}
+
+TEST(Reduction, RoundRobinOrderWithinBlock) {
+  VsInstance inst{{3}, 3};
+  const auto red = traces::reduce_vs_to_gc(inst, {0});
+  const auto& t = red.workload.trace;
+  ASSERT_EQ(t.size(), 9u);
+  // a0 a1 a2 repeated 3 times.
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(t[r * 3 + j], j);
+}
+
+TEST(Reduction, BlockCapacityMustCoverLargestItem) {
+  VsInstance inst{{2, 4}, 4};
+  EXPECT_THROW(traces::reduce_vs_to_gc(inst, {0}, 3), ContractViolation);
+  EXPECT_NO_THROW(traces::reduce_vs_to_gc(inst, {0}, 4));
+}
+
+TEST(Reduction, Theorem1CostEqualityFigure2Example) {
+  // The Figure 2 instance: items A (size 2), B (size 1), C (size 3);
+  // trace A B A C A; cache size 3 (A and B fit together, C fills it).
+  VsInstance inst{{2, 1, 3}, 3};
+  const VsTrace vs_trace{0, 1, 0, 2, 0};
+  const std::uint64_t vs_opt = vs_exact_opt(inst, vs_trace);
+  const auto red = traces::reduce_vs_to_gc(inst, vs_trace);
+  const auto gc_opt =
+      exact_offline_opt(*red.workload.map, red.workload.trace, red.capacity);
+  EXPECT_EQ(gc_opt.cost, vs_opt);
+}
+
+TEST(Reduction, Theorem1CostEqualityRandomInstances) {
+  SplitMix64 rng(2026);
+  for (int round = 0; round < 12; ++round) {
+    const std::size_t n = 3 + rng.below(2);  // 3-4 vs items
+    VsInstance inst;
+    for (std::size_t v = 0; v < n; ++v)
+      inst.sizes.push_back(1 + static_cast<std::uint32_t>(rng.below(3)));
+    const std::uint32_t max_size =
+        *std::max_element(inst.sizes.begin(), inst.sizes.end());
+    inst.capacity = max_size + rng.below(3);
+    VsTrace vs_trace;
+    for (int p = 0; p < 7; ++p)
+      vs_trace.push_back(static_cast<vscache::VsItemId>(rng.below(n)));
+    const std::uint64_t vs_opt = vs_exact_opt(inst, vs_trace);
+    const auto red = traces::reduce_vs_to_gc(inst, vs_trace);
+    const auto gc_opt = exact_offline_opt(*red.workload.map,
+                                          red.workload.trace, red.capacity);
+    EXPECT_EQ(gc_opt.cost, vs_opt)
+        << "round " << round << ": reduction must preserve OPT";
+  }
+}
+
+TEST(Reduction, UnitSizesDegenerateToTraditionalCaching) {
+  // All sizes 1: the reduction is the identity (one access per item).
+  VsInstance inst{{1, 1, 1, 1}, 2};
+  const VsTrace vs_trace{0, 1, 2, 0, 3, 1};
+  const auto red = traces::reduce_vs_to_gc(inst, vs_trace);
+  EXPECT_EQ(red.workload.trace.size(), vs_trace.size());
+  EXPECT_EQ(red.workload.map->max_block_size(), 1u);
+  EXPECT_EQ(
+      exact_offline_opt(*red.workload.map, red.workload.trace, 2).cost,
+      vs_exact_opt(inst, vs_trace));
+}
+
+}  // namespace
+}  // namespace gcaching

@@ -1,0 +1,543 @@
+// gcsim — command-line front end for the gcaching library.
+//
+//   gcsim generate  --kind KIND [kind options] --out FILE
+//   gcsim simulate  --workload FILE --capacity N --policy SPEC [--policy ..]
+//   gcsim sweep     --workload FILE --policies A,B,.. --capacities N,M,..
+//                   [--threads T] [--csv FILE]
+//   gcsim profile   --workload FILE [--windows N1,N2,..]
+//   gcsim adversary --type item|block|general --policy SPEC
+//                   --k N --h N --B N [--phases P] [--save FILE]
+//   gcsim opt       --workload FILE --capacity N [--exact]
+//   gcsim bounds    --k N --h N --B N [--i N --b N]
+//
+// Everything the library can do, scriptable. Run `gcsim help` for details.
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bounds/competitive.hpp"
+#include "bounds/iblp_upper.hpp"
+#include "bounds/partition.hpp"
+#include "core/simulator.hpp"
+#include "core/trace_io.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "locality/concave.hpp"
+#include "locality/mrc.hpp"
+#include "locality/poly_fit.hpp"
+#include "locality/trace_stats.hpp"
+#include "locality/window_profile.hpp"
+#include "offline/exact_opt.hpp"
+#include "offline/opt_bounds.hpp"
+#include "offline/opt_portfolio.hpp"
+#include "policies/factory.hpp"
+#include "sim/runner.hpp"
+#include "traces/address_trace.hpp"
+#include "traces/adversary.hpp"
+#include "traces/layout.hpp"
+#include "traces/locality_trace.hpp"
+#include "traces/synthetic.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace gcaching::cli {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tiny argument parser: --key value pairs, repeated keys accumulate.
+// ---------------------------------------------------------------------------
+
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int a = first; a < argc; ++a) {
+      std::string key = argv[a];
+      if (key.rfind("--", 0) != 0) {
+        std::cerr << "unexpected argument: " << key << "\n";
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (a + 1 >= argc) {
+        std::cerr << "missing value for --" << key << "\n";
+        std::exit(2);
+      }
+      values_[key].push_back(argv[++a]);
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string get(const std::string& key,
+                  std::optional<std::string> fallback = {}) const {
+    const auto it = values_.find(key);
+    if (it != values_.end()) return it->second.back();
+    if (fallback) return *fallback;
+    std::cerr << "missing required option --" << key << "\n";
+    std::exit(2);
+  }
+
+  std::vector<std::string> get_all(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::vector<std::string>{} : it->second;
+  }
+
+  std::uint64_t get_u64(const std::string& key,
+                        std::optional<std::uint64_t> fallback = {}) const {
+    if (!has(key) && fallback) return *fallback;
+    return std::stoull(get(key));
+  }
+
+  double get_f64(const std::string& key,
+                 std::optional<double> fallback = {}) const {
+    if (!has(key) && fallback) return *fallback;
+    return std::stod(get(key));
+  }
+
+ private:
+  std::map<std::string, std::vector<std::string>> values_;
+};
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (std::getline(is, tok, ','))
+    if (!tok.empty()) out.push_back(tok);
+  return out;
+}
+
+std::vector<std::size_t> split_sizes(const std::string& s) {
+  std::vector<std::size_t> out;
+  for (const auto& tok : split_csv(s)) out.push_back(std::stoull(tok));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------------
+
+int cmd_generate(const Args& args) {
+  const std::string kind = args.get("kind");
+  const std::size_t length = args.get_u64("length", 100000);
+  const std::size_t B = args.get_u64("B", 16);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  Workload w;
+  if (kind == "zipf-items") {
+    w = traces::zipf_items(args.get_u64("items", 65536), B, length,
+                           args.get_f64("theta", 0.9), seed);
+  } else if (kind == "zipf-blocks") {
+    w = traces::zipf_blocks(args.get_u64("blocks", 4096), B, length,
+                            args.get_f64("theta", 0.9),
+                            args.get_u64("span", B / 2), seed);
+  } else if (kind == "seq-scan") {
+    w = traces::sequential_scan(args.get_u64("items", 65536), B, length);
+  } else if (kind == "strided-scan") {
+    w = traces::strided_scan(args.get_u64("items", 65536), B, length,
+                             args.get_u64("stride", B));
+  } else if (kind == "ws-phases") {
+    w = traces::working_set_phases(args.get_u64("items", 65536), B, length,
+                                   args.get_u64("ws", 1024),
+                                   args.get_u64("phase", 10000), seed);
+  } else if (kind == "hot-item") {
+    w = traces::hot_item_per_block(args.get_u64("blocks", 4096), B, length,
+                                   args.get_u64("hot", 4096),
+                                   args.get_f64("cold", 0.05), seed);
+  } else if (kind == "scan-hotset") {
+    w = traces::scan_with_hotset(args.get_u64("blocks", 4096), B, length,
+                                 args.get_f64("scan", 0.3),
+                                 args.get_f64("theta", 0.9),
+                                 args.get_u64("span", B / 2), seed);
+  } else if (kind == "stack-distance") {
+    w = traces::stack_distance_workload(args.get_u64("blocks", 4096), B,
+                                        args.get_f64("p", 2.0),
+                                        args.get_f64("gamma", 4.0), length,
+                                        seed);
+  } else if (kind == "pointer-chase") {
+    w = traces::pointer_chase(args.get_u64("blocks", 4096), B, length,
+                              args.get_f64("intra", 0.5),
+                              args.get_f64("restart", 0.001), seed);
+  } else {
+    std::cerr << "unknown --kind " << kind
+              << " (zipf-items|zipf-blocks|seq-scan|strided-scan|ws-phases|"
+                 "hot-item|scan-hotset|stack-distance|pointer-chase)\n";
+    return 2;
+  }
+  const std::string out = args.get("out");
+  save_workload_file(out, w);
+  std::cout << "wrote " << out << ": " << w.name << " ("
+            << w.trace.size() << " accesses, " << w.map->num_items()
+            << " items, B = " << w.map->max_block_size() << ")\n";
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const Workload w = load_workload_file(args.get("workload"));
+  const std::size_t capacity = args.get_u64("capacity");
+  auto specs = args.get_all("policy");
+  if (specs.empty()) specs = {"item-lru", "block-lru", "iblp"};
+  std::cout << "workload: " << w.name << " (" << w.trace.size()
+            << " accesses), capacity " << capacity << "\n";
+  TextTable table({"policy", "misses", "miss rate", "temporal", "spatial",
+                   "loads/miss", "wasted"});
+  for (const auto& spec : specs) {
+    auto policy = make_policy(spec, capacity);
+    const SimStats s = simulate(w, *policy, capacity);
+    table.add_row({policy->name(), TextTable::fmt_int(s.misses),
+                   TextTable::fmt(s.miss_rate(), 4),
+                   TextTable::fmt_int(s.temporal_hits),
+                   TextTable::fmt_int(s.spatial_hits),
+                   TextTable::fmt(s.loads_per_miss(), 2),
+                   TextTable::fmt_int(s.wasted_sideloads)});
+  }
+  std::cout << table;
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  std::vector<Workload> workloads;
+  for (const auto& path : args.get_all("workload"))
+    workloads.push_back(load_workload_file(path));
+  if (workloads.empty()) {
+    std::cerr << "need at least one --workload\n";
+    return 2;
+  }
+  sim::SweepSpec spec;
+  spec.workloads = &workloads;
+  spec.policy_specs = split_csv(args.get("policies"));
+  spec.capacities = split_sizes(args.get("capacities"));
+  spec.threads = args.get_u64("threads", 0);
+  const auto cells = sim::run_sweep(spec);
+
+  TextTable table({"workload", "policy", "capacity", "misses", "miss rate",
+                   "spatial share"});
+  std::optional<CsvWriter> csv;
+  if (args.has("csv"))
+    csv.emplace(args.get("csv"), std::vector<std::string>{
+                                     "workload", "policy", "capacity",
+                                     "misses", "miss_rate", "spatial_share"});
+  for (const auto& cell : cells) {
+    const std::vector<std::string> row = {
+        workloads[cell.workload_index].name,
+        spec.policy_specs[cell.policy_index],
+        TextTable::fmt_int(cell.capacity),
+        TextTable::fmt_int(cell.stats.misses),
+        TextTable::fmt(cell.stats.miss_rate(), 4),
+        TextTable::fmt(cell.stats.spatial_hit_share(), 3)};
+    table.add_row(row);
+    if (csv) csv->add_row(row);
+  }
+  std::cout << table;
+  return 0;
+}
+
+int cmd_profile(const Args& args) {
+  const Workload w = load_workload_file(args.get("workload"));
+  std::vector<std::size_t> windows;
+  if (args.has("windows")) windows = split_sizes(args.get("windows"));
+  const auto prof = locality::compute_profile(w, windows);
+  TextTable table({"window n", "f(n)", "g(n)", "f/g", "f concave-fit"});
+  const auto maj = locality::concave_majorant(prof.window_lengths,
+                                              prof.max_distinct_items);
+  for (std::size_t s = 0; s < prof.window_lengths.size(); ++s)
+    table.add_row({TextTable::fmt_int(prof.window_lengths[s]),
+                   TextTable::fmt(prof.max_distinct_items[s], 0),
+                   TextTable::fmt(prof.max_distinct_blocks[s], 0),
+                   TextTable::fmt(prof.spatial_ratio(s), 2),
+                   TextTable::fmt(maj[s], 1)});
+  std::cout << "workload: " << w.name << "\n" << table;
+  const auto fit_f = locality::fit_poly_locality(prof.window_lengths,
+                                                 prof.max_distinct_items);
+  const auto fit_g = locality::fit_poly_locality(prof.window_lengths,
+                                                 prof.max_distinct_blocks);
+  const auto ts = locality::compute_trace_stats(w);
+  std::cout << "stats: distinct items " << ts.distinct_items << ", blocks "
+            << ts.distinct_blocks << ", mean block footprint "
+            << TextTable::fmt(ts.mean_block_footprint, 2)
+            << ", mean spatial run "
+            << TextTable::fmt(ts.mean_spatial_run, 2)
+            << ", reuse-distance p50/p90/p99 "
+            << ts.reuse_distance_quantiles[0] << "/"
+            << ts.reuse_distance_quantiles[1] << "/"
+            << ts.reuse_distance_quantiles[2] << "\n";
+  std::cout << "fit: f(n) ~ " << TextTable::fmt(fit_f.c, 2) << " n^(1/"
+            << TextTable::fmt(fit_f.p, 2) << "), g(n) ~ "
+            << TextTable::fmt(fit_g.c, 2) << " n^(1/"
+            << TextTable::fmt(fit_g.p, 2)
+            << "); spatial ratio at max window "
+            << TextTable::fmt(prof.spatial_ratio(
+                   prof.window_lengths.size() - 1), 2)
+            << "\n";
+  return 0;
+}
+
+int cmd_mrc(const Args& args) {
+  const Workload w = load_workload_file(args.get("workload"));
+  std::vector<std::size_t> sizes;
+  if (args.has("sizes")) {
+    sizes = split_sizes(args.get("sizes"));
+  } else {
+    for (std::size_t s = w.map->max_block_size();
+         s <= std::min<std::size_t>(w.map->num_items(), 1 << 16); s *= 2)
+      sizes.push_back(s);
+  }
+  const auto item_curve = locality::lru_mrc(w, sizes);
+  const auto block_curve = locality::block_lru_mrc(w, sizes);
+  TextTable table({"size (items)", "item-LRU miss ratio",
+                   "block-LRU miss ratio"});
+  for (std::size_t j = 0; j < sizes.size(); ++j)
+    table.add_row({TextTable::fmt_int(sizes[j]),
+                   TextTable::fmt(item_curve.miss_ratio(j), 4),
+                   TextTable::fmt(block_curve.miss_ratio(j), 4)});
+  std::cout << "workload: " << w.name << " (Mattson one-pass curves)\n"
+            << table;
+  return 0;
+}
+
+int cmd_adversary(const Args& args) {
+  const std::string type = args.get("type");
+  traces::AdversaryOptions opts;
+  opts.k = args.get_u64("k");
+  opts.h = args.get_u64("h");
+  opts.B = args.get_u64("B");
+  opts.phases = args.get_u64("phases", 16);
+  const std::string spec = args.get("policy");
+  auto policy = make_policy(spec, opts.k);
+
+  traces::AdversaryResult res;
+  if (type == "item")
+    res = traces::run_item_adversary(*policy, opts);
+  else if (type == "block")
+    res = traces::run_block_adversary(*policy, opts);
+  else if (type == "general")
+    res = traces::run_general_adversary(*policy, opts);
+  else {
+    std::cerr << "unknown --type " << type << " (item|block|general)\n";
+    return 2;
+  }
+  std::cout << "policy " << policy->name() << " vs " << type
+            << " adversary (k=" << opts.k << ", h=" << opts.h
+            << ", B=" << opts.B << ", phases=" << opts.phases << ")\n"
+            << "  online misses (steady): " << res.online_steady_misses
+            << "\n  prescribed OPT (steady): " << res.opt_steady_misses
+            << "\n  steady ratio: "
+            << TextTable::fmt_ratio(res.steady_ratio()) << "\n";
+  if (type == "general")
+    std::cout << "  observed a: " << res.max_observed_a << "\n";
+  if (args.has("save")) {
+    save_workload_file(args.get("save"), res.workload);
+    std::cout << "  captured trace written to " << args.get("save") << "\n";
+  }
+  return 0;
+}
+
+int cmd_import(const Args& args) {
+  traces::AddressTraceFormat fmt;
+  const std::string delim = args.get("delim", std::string(" "));
+  fmt.delimiter = delim.empty() ? ' ' : delim[0];
+  fmt.address_field = args.get_u64("address_field", 0);
+  fmt.size_field = args.get_u64("size_field", 1);
+  fmt.has_size = args.get_u64("has_size", 1) != 0;
+  fmt.item_bytes = args.get_u64("item_bytes", 64);
+  fmt.block_items = args.get_u64("B", 32);
+  const Workload w =
+      traces::load_address_trace_file(args.get("in"), fmt);
+  save_workload_file(args.get("out"), w);
+  std::cout << "imported " << args.get("in") << " -> " << args.get("out")
+            << ": " << w.name << " (" << w.trace.size() << " accesses, "
+            << w.map->num_blocks() << " blocks)\n";
+  return 0;
+}
+
+int cmd_layout(const Args& args) {
+  const Workload w = load_workload_file(args.get("workload"));
+  const std::size_t B =
+      args.get_u64("B", w.map->max_block_size());
+  const std::string kind = args.get("kind", std::string("affinity"));
+  std::shared_ptr<BlockMap> map;
+  if (kind == "affinity") {
+    map = traces::affinity_layout(w.trace, w.map->num_items(), B,
+                                  args.get_u64("window", 2));
+  } else if (kind == "random") {
+    map = traces::random_layout(w.map->num_items(), B,
+                                args.get_u64("seed", 1));
+  } else {
+    std::cerr << "unknown --kind " << kind << " (affinity|random)\n";
+    return 2;
+  }
+  const Workload out = traces::with_layout(w, map, kind + " layout");
+  save_workload_file(args.get("out"), out);
+  std::cout << "wrote " << args.get("out") << ": " << out.name << " ("
+            << out.map->num_blocks() << " blocks, B = "
+            << out.map->max_block_size() << ")\n";
+  return 0;
+}
+
+int cmd_hierarchy(const Args& args) {
+  // --level NAME:CAPACITY:POLICY:GRANULARITY:PENALTY  (repeatable, L1
+  // first). Policy specs containing ':' are not supported here; use the
+  // library API for those.
+  const Workload w = load_workload_file(args.get("workload"));
+  const auto level_specs = args.get_all("level");
+  if (level_specs.empty()) {
+    std::cerr << "need at least one --level NAME:CAP:POLICY:GRAN:PENALTY\n";
+    return 2;
+  }
+  std::vector<hierarchy::LevelConfig> levels;
+  for (const auto& spec : level_specs) {
+    std::vector<std::string> parts;
+    std::istringstream is(spec);
+    std::string tok;
+    while (std::getline(is, tok, ':')) parts.push_back(tok);
+    if (parts.size() != 5) {
+      std::cerr << "malformed --level " << spec << "\n";
+      return 2;
+    }
+    hierarchy::LevelConfig cfg;
+    cfg.name = parts[0];
+    cfg.capacity = std::stoull(parts[1]);
+    cfg.policy_spec = parts[2];
+    cfg.map = make_uniform_blocks(w.map->num_items(), std::stoull(parts[3]));
+    cfg.miss_penalty = std::stod(parts[4]);
+    levels.push_back(std::move(cfg));
+  }
+  hierarchy::HierarchySimulator hs(levels,
+                                   args.get_f64("probe_cost", 1.0));
+  hs.run(w.trace);
+  TextTable table({"level", "accesses", "hits", "hit share", "misses"});
+  for (std::size_t l = 0; l < hs.num_levels(); ++l) {
+    const auto& s = hs.level_stats(l);
+    table.add_row({hs.level(l).name, TextTable::fmt_int(s.accesses),
+                   TextTable::fmt_int(s.hits),
+                   TextTable::fmt(hs.hit_share(l), 3),
+                   TextTable::fmt_int(s.misses)});
+  }
+  std::cout << "workload: " << w.name << "\n" << table
+            << "AMAT: " << TextTable::fmt(hs.amat(), 2) << "\n";
+  return 0;
+}
+
+int cmd_opt(const Args& args) {
+  const Workload w = load_workload_file(args.get("workload"));
+  const std::size_t capacity = args.get_u64("capacity");
+  const std::uint64_t lower =
+      opt_lower_bound(*w.map, w.trace, capacity);
+  const auto upper = opt_portfolio_upper(*w.map, w.trace, capacity);
+  std::cout << "workload: " << w.name << " (" << w.trace.size()
+            << " accesses), capacity " << capacity << "\n"
+            << "  OPT lower bound (certified): " << lower << "\n"
+            << "  OPT upper bound (portfolio): " << upper.misses << "  ["
+            << upper.best_policy << "]\n";
+  if (args.has("exact") && args.get("exact") != "0") {
+    const auto exact = exact_offline_opt(*w.map, w.trace, capacity);
+    std::cout << "  OPT exact: " << exact.cost << "  ("
+              << exact.states_expanded << " states)\n";
+  }
+  return 0;
+}
+
+int cmd_bounds(const Args& args) {
+  const double k = args.get_f64("k");
+  const double h = args.get_f64("h");
+  const double B = args.get_f64("B");
+  TextTable table({"bound", "value"});
+  auto add = [&](const std::string& name, double v) {
+    table.add_row({name, TextTable::fmt_ratio(v)});
+  };
+  add("Sleator-Tarjan lower", bounds::sleator_tarjan_lower(k, h));
+  add("Item Cache lower (Thm 2)", bounds::item_cache_lower(k, h, B));
+  add("Block Cache lower (Thm 3)", bounds::block_cache_lower(k, h, B));
+  add("GC lower (best a)", bounds::gc_lower_bound(k, h, B));
+  add("  optimal a", bounds::gc_optimal_a(k, h, B));
+  const auto part = bounds::iblp_optimal_partition(k, h, B);
+  add("IBLP upper, optimal split (Sec 5.3)", part.ratio);
+  add("  optimal i", part.item_layer);
+  add("  optimal b", part.block_layer);
+  if (args.has("i") || args.has("b")) {
+    const double i = args.get_f64("i", k / 2);
+    const double b = args.get_f64("b", k - i);
+    add("IBLP upper at given split (Thm 7)",
+        bounds::iblp_upper(i, b, h, B));
+    add("  numeric LP re-solve", bounds::iblp_upper_numeric(i, b, h, B));
+  }
+  std::cout << table;
+  return 0;
+}
+
+int cmd_help() {
+  std::cout <<
+      R"(gcsim — Granularity-Change Caching simulator
+
+subcommands:
+  generate   synthesize a workload and write it to a gcworkload file
+             --kind zipf-items|zipf-blocks|seq-scan|strided-scan|ws-phases|
+                    hot-item|scan-hotset|stack-distance
+             --out FILE [--length N] [--B N] [--seed N] [kind options:
+             --items --blocks --theta --span --stride --ws --phase --hot
+             --cold --scan --p --gamma]
+  simulate   run policies over a workload file
+             --workload FILE --capacity N [--policy SPEC]...
+  sweep      policy x capacity grid, in parallel
+             --workload FILE [--workload FILE]... --policies A,B,..
+             --capacities N,M,.. [--threads T] [--csv FILE]
+  profile    measure f(n)/g(n) locality profiles and power-law fits
+             --workload FILE [--windows N1,N2,..]
+  mrc        exact LRU miss-ratio curves (item and block granularity)
+             --workload FILE [--sizes N,M,..]
+  import     convert an (address, size) trace file to a gcworkload
+             --in FILE --out FILE [--delim C] [--address_field N]
+             [--size_field N] [--has_size 0|1] [--item_bytes N] [--B N]
+  layout     re-assign items to blocks and write the relaid workload
+             --workload FILE --out FILE [--kind affinity|random] [--B N]
+             [--window N] [--seed N]
+  hierarchy  simulate a multi-level hierarchy over a workload
+             --workload FILE --level NAME:CAP:POLICY:GRAN:PENALTY ...
+             [--probe_cost C]
+  adversary  run a lower-bound construction against a live policy
+             --type item|block|general --policy SPEC --k N --h N --B N
+             [--phases P] [--save FILE]
+  opt        bracket the offline optimum of a workload
+             --workload FILE --capacity N [--exact 1]
+  bounds     print every competitive bound for a geometry
+             --k N --h N --B N [--i N --b N]
+
+policy specs: )";
+  bool first = true;
+  for (const auto& name : known_policy_names()) {
+    std::cout << (first ? "" : ", ") << name;
+    first = false;
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace gcaching::cli
+
+int main(int argc, char** argv) {
+  using namespace gcaching::cli;
+  if (argc < 2) return cmd_help();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") return cmd_help();
+    const Args args(argc, argv, 2);
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "profile") return cmd_profile(args);
+    if (cmd == "mrc") return cmd_mrc(args);
+    if (cmd == "import") return cmd_import(args);
+    if (cmd == "layout") return cmd_layout(args);
+    if (cmd == "hierarchy") return cmd_hierarchy(args);
+    if (cmd == "adversary") return cmd_adversary(args);
+    if (cmd == "opt") return cmd_opt(args);
+    if (cmd == "bounds") return cmd_bounds(args);
+    std::cerr << "unknown subcommand: " << cmd << " (try `gcsim help`)\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
