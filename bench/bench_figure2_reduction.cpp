@@ -32,8 +32,10 @@ void reduction_table(const BenchOptions& opts) {
     const auto gc = exact_offline_opt(*red.workload.map, red.workload.trace,
                                       red.capacity);
     std::string sizes;
-    for (std::size_t v = 0; v < inst.sizes.size(); ++v)
-      sizes += (v ? "," : "") + std::to_string(inst.sizes[v]);
+    for (std::size_t v = 0; v < inst.sizes.size(); ++v) {
+      if (v) sizes += ',';
+      sizes += std::to_string(inst.sizes[v]);
+    }
     sink.add_row({name, sizes, fmti(inst.capacity), fmti(trace.size()),
                   fmti(red.workload.trace.size()), fmti(vs_opt),
                   fmti(gc.cost), vs_opt == gc.cost ? "yes" : "NO"});

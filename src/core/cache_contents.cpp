@@ -4,16 +4,6 @@
 
 namespace gcaching {
 
-CacheContents::CacheContents(const BlockMap& map, std::size_t capacity)
-    : map_(map), capacity_(capacity), entries_(map.num_items()) {
-  GC_REQUIRE(capacity >= 1, "cache capacity must be at least one item");
-}
-
-bool CacheContents::contains(ItemId item) const {
-  GC_REQUIRE(item < entries_.size(), "item id out of range");
-  return entries_[item].present;
-}
-
 BlockId CacheContents::missed_block() const {
   GC_REQUIRE(in_miss(), "no miss transaction is open");
   return current_block_;
@@ -21,85 +11,25 @@ BlockId CacheContents::missed_block() const {
 
 void CacheContents::for_each_resident(
     const std::function<void(ItemId)>& fn) const {
-  for (ItemId it = 0; it < entries_.size(); ++it)
-    if (entries_[it].present) fn(it);
+  visit_residents([&fn](ItemId it) { fn(it); });
 }
 
 std::vector<ItemId> CacheContents::resident_items() const {
   std::vector<ItemId> out;
   out.reserve(occupancy_);
-  for_each_resident([&](ItemId it) { out.push_back(it); });
+  visit_residents([&out](ItemId it) { out.push_back(it); });
   return out;
 }
 
 std::size_t CacheContents::residents_of_block(BlockId block) const {
   std::size_t n = 0;
-  for (ItemId it : map_.items_of(block))
-    if (entries_[it].present) ++n;
+  visit_residents_of_block(block, [&n](ItemId) { ++n; });
   return n;
 }
 
-HitKind CacheContents::record_hit(ItemId item) {
-  GC_REQUIRE(!in_miss(), "record_hit during an open miss transaction");
-  GC_REQUIRE(contains(item), "record_hit on a non-resident item");
-  Entry& e = entries_[item];
-  const HitKind kind = (!e.touched && !e.requested_load) ? HitKind::kSpatial
-                                                         : HitKind::kTemporal;
-  e.touched = true;
-  ++now_;
-  return kind;
-}
-
-void CacheContents::begin_miss(ItemId requested) {
-  GC_REQUIRE(!in_miss(), "begin_miss with a transaction already open");
-  GC_REQUIRE(requested < entries_.size(), "item id out of range");
-  GC_REQUIRE(!entries_[requested].present, "begin_miss on a resident item");
-  current_block_ = map_.block_of(requested);
-  current_request_ = requested;
-}
-
-void CacheContents::load(ItemId item) {
-  GC_REQUIRE(in_miss(), "load outside a miss transaction");
-  GC_REQUIRE(item < entries_.size(), "item id out of range");
-  GC_REQUIRE(map_.block_of(item) == current_block_,
-             "Definition 1 violation: load outside the missed block");
-  GC_REQUIRE(!entries_[item].present, "loading an already-resident item");
-  GC_REQUIRE(occupancy_ < capacity_,
-             "capacity violation: evict before loading");
-  Entry& e = entries_[item];
-  e.present = true;
-  e.requested_load = (item == current_request_);
-  e.touched = (item == current_request_);
-  e.loaded_at = now_;
-  ++occupancy_;
-  ++items_loaded_;
-  if (item != current_request_) ++sideloads_;
-}
-
-void CacheContents::evict(ItemId item) {
-  GC_REQUIRE(item < entries_.size(), "item id out of range");
-  Entry& e = entries_[item];
-  GC_REQUIRE(e.present, "evicting a non-resident item");
-  if (!e.touched && !e.requested_load) ++wasted_sideloads_;
-  e.present = false;
-  e.requested_load = false;
-  e.touched = false;
-  --occupancy_;
-  ++evictions_;
-}
-
-void CacheContents::end_miss() {
-  GC_REQUIRE(in_miss(), "end_miss without a transaction");
-  GC_ENSURE(entries_[current_request_].present,
-            "policy failed to load the requested item");
-  GC_ENSURE(occupancy_ <= capacity_, "occupancy exceeds capacity");
-  current_block_ = kInvalidBlock;
-  current_request_ = kInvalidItem;
-  ++now_;
-}
-
 void CacheContents::reset() {
-  for (Entry& e : entries_) e = Entry{};
+  flags_.assign(flags_.size(), Flag{});
+  load_times_.assign(load_times_.size(), 0);
   occupancy_ = 0;
   current_block_ = kInvalidBlock;
   current_request_ = kInvalidItem;
@@ -108,8 +38,9 @@ void CacheContents::reset() {
 }
 
 AccessTime CacheContents::load_time(ItemId item) const {
+  GC_REQUIRE(track_load_times_, "load-time tracking is disabled");
   GC_REQUIRE(contains(item), "load_time of a non-resident item");
-  return entries_[item].loaded_at;
+  return load_times_[item];
 }
 
 }  // namespace gcaching

@@ -12,6 +12,15 @@
 // traditional caching models"): a hit on an item that was side-loaded by a
 // different item's miss and has not been touched since is a *spatial* hit;
 // every other hit is *temporal*.
+//
+// All per-access mutators are defined inline here and carry GC_HOT_* tier
+// contracts: enforced by default, compiled out under GC_FAST_SIM so the
+// fast-path engine (core/simulator.hpp, `simulate_fast`) pays nothing for
+// them. The per-access state is split by temperature: the hit path reads
+// and writes a one-byte flag word per item (present / requested / touched),
+// so the residency table an access touches is num_items bytes and stays
+// cache-resident for realistic universes; load timestamps live in a side
+// array written only on loads.
 #pragma once
 
 #include <cstddef>
@@ -21,6 +30,7 @@
 
 #include "core/block_map.hpp"
 #include "core/types.hpp"
+#include "util/contracts.hpp"
 
 namespace gcaching {
 
@@ -28,10 +38,23 @@ enum class HitKind : std::uint8_t { kTemporal, kSpatial };
 
 class CacheContents {
  public:
-  CacheContents(const BlockMap& map, std::size_t capacity);
+  // Defined inline (like the per-access mutators) so the fast engine's
+  // translation unit sees the whole object lifetime: the flag array is then
+  // known not to alias the policy's own state, which keeps the loop-carried
+  // members in registers.
+  CacheContents(const BlockMap& map, std::size_t capacity)
+      : map_(map),
+        capacity_(capacity),
+        flags_(map.num_items(), Flag{}),
+        load_times_(map.num_items(), 0) {
+    GC_REQUIRE(capacity >= 1, "cache capacity must be at least one item");
+  }
 
   // ---- Read-only inspection (also the adversaries' view) -----------------
-  bool contains(ItemId item) const;
+  bool contains(ItemId item) const {
+    GC_HOT_REQUIRE(item < flags_.size(), "item id out of range");
+    return (raw(flags_[item]) & kPresent) != 0;
+  }
   std::size_t occupancy() const noexcept { return occupancy_; }
   std::size_t capacity() const noexcept { return capacity_; }
   bool full() const noexcept { return occupancy_ == capacity_; }
@@ -47,6 +70,23 @@ class CacheContents {
   AccessTime now() const noexcept { return now_; }
 
   /// Calls fn(item) for every resident item, ascending id. O(num_items).
+  /// Allocation-free templated form; policies should prefer this.
+  template <typename Fn>
+  void visit_residents(Fn&& fn) const {
+    for (ItemId it = 0; it < flags_.size(); ++it)
+      if ((raw(flags_[it]) & kPresent) != 0) fn(it);
+  }
+
+  /// Calls fn(item) for every resident item of `block`, ascending id.
+  /// O(block size); safe against evicting the visited item from inside fn.
+  template <typename Fn>
+  void visit_residents_of_block(BlockId block, Fn&& fn) const {
+    for (ItemId it : map_.items_of(block))
+      if ((raw(flags_[it]) & kPresent) != 0) fn(it);
+  }
+
+  /// Type-erased form of visit_residents, kept for tests and tools where a
+  /// per-call std::function allocation is irrelevant.
   void for_each_resident(const std::function<void(ItemId)>& fn) const;
 
   /// Snapshot of resident items, ascending. O(num_items); for tests/benches.
@@ -58,22 +98,95 @@ class CacheContents {
   // ---- Mutation API (simulator + policies) --------------------------------
   /// Simulator: advance logical time; classify & record a hit on a resident
   /// item. Returns the hit kind per the paper's taxonomy.
-  HitKind record_hit(ItemId item);
+  HitKind record_hit(ItemId item) {
+    GC_HOT_REQUIRE(!in_miss(), "record_hit during an open miss transaction");
+    GC_HOT_REQUIRE(contains(item), "record_hit on a non-resident item");
+    const std::uint8_t e = raw(flags_[item]);
+    const HitKind kind =
+        (e & (kTouched | kRequestedLoad)) == 0 ? HitKind::kSpatial
+                                               : HitKind::kTemporal;
+    // Skip the store when the bit is already set (the common case: every
+    // requested load starts touched) — hits then leave the flag line clean.
+    if ((e & kTouched) == 0) flags_[item] = flag(e | kTouched);
+    ++now_;
+    return kind;
+  }
+
+  /// Hit fast path for policies that declare `kRequestedLoadsOnly`: every
+  /// resident item was loaded as its own request, so the touched bit is
+  /// already set (record_hit's store would be a no-op) and the hit is
+  /// statically temporal. The declaration is contract-checked here on every
+  /// hit in checking builds.
+  void record_requested_hit(ItemId item) {
+    GC_HOT_REQUIRE(!in_miss(), "record_hit during an open miss transaction");
+    GC_HOT_REQUIRE(contains(item), "record_hit on a non-resident item");
+    GC_HOT_REQUIRE((raw(flags_[item]) & (kTouched | kRequestedLoad)) != 0,
+                   "requested-loads-only policy hit an untouched sideload");
+    ++now_;
+  }
 
   /// Simulator: open a miss transaction for non-resident `requested`.
-  void begin_miss(ItemId requested);
+  void begin_miss(ItemId requested) {
+    begin_miss(requested, map_.block_of(requested));
+  }
+
+  /// Fast-path form: the caller supplies `requested`'s block id (typically
+  /// precomputed per access, see Trace::precompute_block_ids) so the hot
+  /// loop never makes the virtual BlockMap::block_of call.
+  void begin_miss(ItemId requested, BlockId block) {
+    GC_HOT_REQUIRE(!in_miss(), "begin_miss with a transaction already open");
+    GC_HOT_REQUIRE(requested < flags_.size(), "item id out of range");
+    GC_HOT_REQUIRE((raw(flags_[requested]) & kPresent) == 0,
+                   "begin_miss on a resident item");
+    GC_HOT_REQUIRE(block == map_.block_of(requested),
+                   "supplied block id does not match the requested item");
+    current_block_ = block;
+    current_request_ = requested;
+  }
 
   /// Policy: load `item` during a miss. `item` must belong to the missed
   /// block, be non-resident, and the cache must not be full.
-  void load(ItemId item);
+  void load(ItemId item) {
+    GC_HOT_REQUIRE(in_miss(), "load outside a miss transaction");
+    GC_HOT_REQUIRE(item < flags_.size(), "item id out of range");
+    GC_HOT_REQUIRE(map_.block_of(item) == current_block_,
+                   "Definition 1 violation: load outside the missed block");
+    GC_HOT_REQUIRE((raw(flags_[item]) & kPresent) == 0,
+                   "loading an already-resident item");
+    GC_HOT_REQUIRE(occupancy_ < capacity_,
+                   "capacity violation: evict before loading");
+    const bool requested = (item == current_request_);
+    flags_[item] = flag(requested ? (kPresent | kRequestedLoad | kTouched)
+                                  : kPresent);
+    if (track_load_times_) load_times_[item] = now_;
+    ++occupancy_;
+    ++items_loaded_;
+    if (!requested) ++sideloads_;
+  }
 
   /// Policy: evict resident `item`. Legal at any point — Definition 1 only
   /// constrains *loads*; a policy may reorganize on hits (e.g. IBLP evicts
   /// an item-layer victim when promoting a block-layer hit).
-  void evict(ItemId item);
+  void evict(ItemId item) {
+    GC_HOT_REQUIRE(item < flags_.size(), "item id out of range");
+    const std::uint8_t e = raw(flags_[item]);
+    GC_HOT_REQUIRE((e & kPresent) != 0, "evicting a non-resident item");
+    if ((e & (kTouched | kRequestedLoad)) == 0) ++wasted_sideloads_;
+    flags_[item] = Flag{};
+    --occupancy_;
+    ++evictions_;
+  }
 
   /// Simulator: close the transaction; the requested item must be resident.
-  void end_miss();
+  void end_miss() {
+    GC_HOT_REQUIRE(in_miss(), "end_miss without a transaction");
+    GC_HOT_ENSURE((raw(flags_[current_request_]) & kPresent) != 0,
+                  "policy failed to load the requested item");
+    GC_HOT_ENSURE(occupancy_ <= capacity_, "occupancy exceeds capacity");
+    current_block_ = kInvalidBlock;
+    current_request_ = kInvalidItem;
+    ++now_;
+  }
 
   /// Drop everything and reset counters to the post-construction state.
   void reset();
@@ -88,24 +201,42 @@ class CacheContents {
   /// Side-loaded items evicted without ever being accessed — pure pollution.
   std::uint64_t wasted_sideloads() const noexcept { return wasted_sideloads_; }
   /// Timestamp (access index) at which `item` was last loaded. Only
-  /// meaningful while the item is resident.
+  /// meaningful while the item is resident and load-time tracking is on.
   AccessTime load_time(ItemId item) const;
 
+  /// Load timestamps are a cold-inspection feature (load_time()); the fast
+  /// engine turns the per-load timestamp write off — it is a random-line
+  /// store the hot loop otherwise pays on every load. SimStats and every
+  /// other observable are unaffected. On by default.
+  void set_load_time_tracking(bool on) noexcept { track_load_times_ = on; }
+  bool load_time_tracking() const noexcept { return track_load_times_; }
+
  private:
-  struct Entry {
-    bool present = false;
-    bool requested_load = false;  ///< loaded because it was itself requested
-    bool touched = false;         ///< accessed since (or at) its load
-    AccessTime loaded_at = 0;
-  };
+  // Per-item flag byte; a non-resident item is all-zero. Stored as a
+  // distinct one-byte enum rather than std::uint8_t on purpose: unsigned
+  // char writes may alias *any* object, so flag stores in the (inlined) hot
+  // loop would force the compiler to re-load every cached member and policy
+  // pointer each iteration. An enum has its own alias class.
+  enum class Flag : std::uint8_t {};
+  static constexpr std::uint8_t kPresent = 1;        ///< resident now
+  static constexpr std::uint8_t kRequestedLoad = 2;  ///< loaded as the request
+  static constexpr std::uint8_t kTouched = 4;  ///< accessed since its load
+  static constexpr std::uint8_t raw(Flag f) noexcept {
+    return static_cast<std::uint8_t>(f);
+  }
+  static constexpr Flag flag(std::uint8_t b) noexcept {
+    return static_cast<Flag>(b);
+  }
 
   const BlockMap& map_;
   std::size_t capacity_;
   std::size_t occupancy_ = 0;
-  std::vector<Entry> entries_;
+  std::vector<Flag> flags_;
+  std::vector<AccessTime> load_times_;  ///< valid while the item is resident
   BlockId current_block_ = kInvalidBlock;
   ItemId current_request_ = kInvalidItem;
   AccessTime now_ = 0;
+  bool track_load_times_ = true;
 
   std::uint64_t items_loaded_ = 0;
   std::uint64_t sideloads_ = 0;

@@ -11,7 +11,8 @@ Simulation::Simulation(const BlockMap& map, ReplacementPolicy& policy,
 }
 
 void Simulation::access(ItemId item) {
-  GC_REQUIRE(item < map_.num_items(), "access to item outside the universe");
+  GC_HOT_REQUIRE(item < map_.num_items(),
+                 "access to item outside the universe");
   ++stats_.accesses;
   if (cache_.contains(item)) {
     const HitKind kind = cache_.record_hit(item);

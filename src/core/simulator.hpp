@@ -1,18 +1,31 @@
-// The verifying simulator.
+// The simulation engines: verifying and fast.
 //
 // `Simulation` drives a policy one access at a time (the step-wise form is
 // what adaptive adversaries need: they choose the next request by inspecting
 // the live cache). `simulate()` runs a whole workload. Either way, all model
 // invariants are enforced by `CacheContents`; a policy that cheats throws.
+//
+// `simulate_fast<Policy>()` is the whole-trace fast path: the policy type is
+// a template parameter, so `on_hit` / `on_miss` devirtualize (every built-in
+// policy is `final`) and inline into the loop, and per-access block ids are
+// precomputed so the hot loop never makes a virtual BlockMap call. It runs
+// the *same* CacheContents transitions in the same order as `Simulation`,
+// so its SimStats are bit-identical to the verifying engine's — enforced by
+// tests/test_fast_sim.cpp for every policy in the factory. Under the
+// GC_FAST_SIM build configuration the hot-tier contracts additionally
+// compile to nothing (see docs/PERF.md).
 #pragma once
 
 #include <cstddef>
+#include <span>
+#include <vector>
 
 #include "core/block_map.hpp"
 #include "core/cache_contents.hpp"
 #include "core/policy.hpp"
 #include "core/stats.hpp"
 #include "core/trace.hpp"
+#include "util/contracts.hpp"
 
 namespace gcaching {
 
@@ -50,5 +63,99 @@ SimStats simulate(const BlockMap& map, const Trace& trace,
 /// Workload-flavored overload.
 SimStats simulate(const Workload& workload, ReplacementPolicy& policy,
                   std::size_t capacity);
+
+/// Fast-path engine. `Policy` is the concrete (final) policy class; the
+/// caller supplies each access's block id via `block_ids` (see
+/// Trace::precompute_block_ids / compute_block_ids). Performs the exact
+/// access/hit/miss transitions of `Simulation::access`, including the
+/// prepare() call of the one-shot `simulate()`, and returns bit-identical
+/// SimStats.
+template <typename Policy>
+SimStats simulate_fast(const BlockMap& map, const Trace& trace,
+                       Policy& policy, std::size_t capacity,
+                       std::span<const BlockId> block_ids) {
+  GC_REQUIRE(block_ids.size() == trace.size(),
+             "one precomputed block id per access is required");
+  CacheContents cache(map, capacity);
+  policy.attach(map, cache);
+  policy.prepare(trace);
+  cache.set_load_time_tracking(false);  // cold feature; saves a store per load
+  SimStats stats;
+  const std::vector<ItemId>& accesses = trace.accesses();
+  // The verifying engine charges eviction stats per miss transaction, so
+  // evictions a policy performs on *hits* (IBLP's item-layer reshuffling)
+  // are excluded from SimStats. Policies that do that declare it with
+  // `kEvictsOutsideMiss`; only for them do we pay the per-miss counter
+  // snapshots. Loads are only legal inside a miss for every policy, so the
+  // load counters are always safe to read once at the end.
+  constexpr bool kHitPathEvictions = [] {
+    if constexpr (requires { Policy::kEvictsOutsideMiss; })
+      return Policy::kEvictsOutsideMiss;
+    else
+      return false;
+  }();
+  // Policies that only ever load the requested item can skip the hit
+  // taxonomy: every hit is temporal and the touched bit is already set
+  // (record_requested_hit contract-checks the claim in checking builds).
+  constexpr bool kRequestedOnly = [] {
+    if constexpr (requires { Policy::kRequestedLoadsOnly; })
+      return Policy::kRequestedLoadsOnly;
+    else
+      return false;
+  }();
+  // Only the counters that cannot be derived afterwards are maintained in
+  // the loop: misses, spatial hits, and (for kHitPathEvictions policies)
+  // the per-miss eviction deltas. accesses / hits / temporal_hits follow
+  // arithmetically, and the load counters live in CacheContents already.
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    const ItemId item = accesses[i];
+    if (cache.contains(item)) {
+      if constexpr (kRequestedOnly) {
+        cache.record_requested_hit(item);
+      } else {
+        if (cache.record_hit(item) == HitKind::kSpatial) ++stats.spatial_hits;
+      }
+      policy.on_hit(item);
+      continue;
+    }
+    ++stats.misses;
+    if constexpr (kHitPathEvictions) {
+      const std::uint64_t evictions_before = cache.evictions();
+      const std::uint64_t wasted_before = cache.wasted_sideloads();
+      cache.begin_miss(item, block_ids[i]);
+      policy.on_miss(item);
+      cache.end_miss();
+      stats.evictions += cache.evictions() - evictions_before;
+      stats.wasted_sideloads += cache.wasted_sideloads() - wasted_before;
+    } else {
+      cache.begin_miss(item, block_ids[i]);
+      policy.on_miss(item);
+      cache.end_miss();
+    }
+  }
+  stats.accesses = accesses.size();
+  stats.hits = stats.accesses - stats.misses;
+  stats.temporal_hits = stats.hits - stats.spatial_hits;
+  stats.items_loaded = cache.items_loaded();
+  stats.sideloads = cache.sideloads();
+  if constexpr (!kHitPathEvictions) {
+    stats.evictions = cache.evictions();
+    stats.wasted_sideloads = cache.wasted_sideloads();
+  }
+  return stats;
+}
+
+/// Convenience overload: uses the trace's cached block ids when present
+/// (Trace::precompute_block_ids), otherwise resolves them in a one-off pass
+/// before entering the hot loop.
+template <typename Policy>
+SimStats simulate_fast(const BlockMap& map, const Trace& trace,
+                       Policy& policy, std::size_t capacity) {
+  if (trace.has_block_ids(map))
+    return simulate_fast(map, trace, policy, capacity, trace.block_ids());
+  const std::vector<BlockId> ids = compute_block_ids(map, trace);
+  return simulate_fast(map, trace, policy, capacity,
+                       std::span<const BlockId>(ids));
+}
 
 }  // namespace gcaching

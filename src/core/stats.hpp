@@ -46,6 +46,10 @@ struct SimStats {
                              static_cast<double>(misses);
   }
 
+  /// Bit-identity across engines (fast vs verifying) is a hard guarantee;
+  /// tests and benches compare full stat structs.
+  friend bool operator==(const SimStats&, const SimStats&) = default;
+
   SimStats& operator+=(const SimStats& o) {
     accesses += o.accesses;
     hits += o.hits;

@@ -10,6 +10,24 @@ namespace gcaching {
 void Trace::append(const Trace& other) {
   accesses_.insert(accesses_.end(), other.accesses_.begin(),
                    other.accesses_.end());
+  block_map_ = nullptr;  // invalidate any precomputed block ids
+}
+
+void Trace::precompute_block_ids(const BlockMap& map) {
+  if (has_block_ids(map)) return;
+  block_ids_ = compute_block_ids(map, *this);
+  block_map_ = &map;
+}
+
+std::vector<BlockId> compute_block_ids(const BlockMap& map,
+                                       const Trace& trace) {
+  std::vector<BlockId> out;
+  out.reserve(trace.size());
+  for (ItemId it : trace) {
+    GC_REQUIRE(it < map.num_items(), "trace references item outside the map");
+    out.push_back(map.block_of(it));
+  }
+  return out;
 }
 
 std::size_t Trace::distinct_items() const {

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,10 +22,17 @@ class Trace {
   explicit Trace(std::vector<ItemId> accesses)
       : accesses_(std::move(accesses)) {}
 
-  void push(ItemId item) { accesses_.push_back(item); }
+  void push(ItemId item) {
+    accesses_.push_back(item);
+    block_map_ = nullptr;  // invalidate any precomputed block ids
+  }
   void append(const Trace& other);
   void reserve(std::size_t n) { accesses_.reserve(n); }
-  void clear() { accesses_.clear(); }
+  void clear() {
+    accesses_.clear();
+    block_ids_.clear();
+    block_map_ = nullptr;
+  }
 
   std::size_t size() const noexcept { return accesses_.size(); }
   bool empty() const noexcept { return accesses_.empty(); }
@@ -41,9 +49,35 @@ class Trace {
   /// Largest item id referenced, or kInvalidItem for an empty trace.
   ItemId max_item() const;
 
+  // ---- Per-access block ids (fast-path support) ---------------------------
+  // The fast simulation engine never calls the virtual BlockMap::block_of in
+  // its hot loop; instead the block id of every access is resolved once,
+  // here. The cache is tied to the map it was computed against and is
+  // invalidated by any trace mutation.
+
+  /// Resolve and store the block id of every access against `map`. Also
+  /// validates that every access is inside the map's universe. O(size).
+  void precompute_block_ids(const BlockMap& map);
+
+  /// True when block ids are cached for this exact map instance.
+  bool has_block_ids(const BlockMap& map) const noexcept {
+    return block_map_ == &map && block_ids_.size() == accesses_.size();
+  }
+
+  /// The cached per-access block ids (valid only when has_block_ids()).
+  std::span<const BlockId> block_ids() const noexcept { return block_ids_; }
+
  private:
   std::vector<ItemId> accesses_;
+  std::vector<BlockId> block_ids_;
+  const BlockMap* block_map_ = nullptr;
 };
+
+/// Standalone form of Trace::precompute_block_ids for callers holding a
+/// const Trace (e.g. the sweep runner): resolves every access's block id
+/// against `map`, validating item ranges as it goes.
+std::vector<BlockId> compute_block_ids(const BlockMap& map,
+                                       const Trace& trace);
 
 /// A trace plus the partition it is defined over. The map is shared because
 /// many traces (e.g. a parameter sweep) reference one partition.

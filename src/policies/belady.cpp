@@ -124,8 +124,8 @@ void BeladyBlock::on_miss(ItemId item) {
   const std::size_t need = map().block_size(block);
   while (cache().capacity() - cache().occupancy() < need) {
     const BlockId victim = queue_.pop_furthest();
-    for (ItemId it : map().items_of(victim))
-      if (cache().contains(it)) cache().evict(it);
+    cache().visit_residents_of_block(victim,
+                                     [this](ItemId it) { cache().evict(it); });
   }
   for (ItemId it : map().items_of(block)) cache().load(it);
   queue_.update(block, block_index_.next_after(pos_));

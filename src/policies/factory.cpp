@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "core/simulator.hpp"
 #include "policies/athreshold.hpp"
 #include "policies/belady.hpp"
 #include "policies/block_fifo.hpp"
@@ -67,6 +68,16 @@ IblpConfig iblp_config(const Params& p, std::size_t capacity) {
   return cfg;
 }
 
+/// Construct a concrete policy and run the devirtualized engine on it. This
+/// is the single point where the spec's dynamic name becomes a static type.
+template <typename Policy, typename... Args>
+SimStats run_fast(const BlockMap& map, const Trace& trace,
+                  std::span<const BlockId> block_ids, std::size_t capacity,
+                  Args&&... args) {
+  Policy policy(std::forward<Args>(args)...);
+  return simulate_fast(map, trace, policy, capacity, block_ids);
+}
+
 }  // namespace
 
 std::unique_ptr<ReplacementPolicy> make_policy(const std::string& spec,
@@ -108,6 +119,81 @@ std::unique_ptr<ReplacementPolicy> make_policy(const std::string& spec,
   if (name == "belady-greedy-gc") return std::make_unique<BeladyGreedyGc>();
   GC_REQUIRE(false, "unknown policy spec: " + spec);
   return nullptr;  // unreachable
+}
+
+SimStats simulate_fast_spec(const std::string& spec, const BlockMap& map,
+                            const Trace& trace,
+                            std::span<const BlockId> block_ids,
+                            std::size_t capacity) {
+  const auto [name, params] = parse_spec(spec);
+  if (name == "item-lru")
+    return run_fast<ItemLru>(map, trace, block_ids, capacity);
+  if (name == "item-fifo")
+    return run_fast<ItemFifo>(map, trace, block_ids, capacity);
+  if (name == "item-lfu")
+    return run_fast<ItemLfu>(map, trace, block_ids, capacity);
+  if (name == "item-clock")
+    return run_fast<ItemClock>(map, trace, block_ids, capacity);
+  if (name == "item-random")
+    return run_fast<ItemRandom>(map, trace, block_ids, capacity,
+                                get_u64(params, "seed", 1));
+  if (name == "item-slru")
+    return run_fast<ItemSlru>(map, trace, block_ids, capacity,
+                              get_f64(params, "p", 0.5));
+  if (name == "item-arc")
+    return run_fast<ItemArc>(map, trace, block_ids, capacity);
+  if (name == "footprint")
+    return run_fast<FootprintCache>(map, trace, block_ids, capacity,
+                                    get_u64(params, "cold_block", 1) != 0);
+  if (name == "block-lru")
+    return run_fast<BlockLru>(map, trace, block_ids, capacity);
+  if (name == "block-fifo")
+    return run_fast<BlockFifo>(map, trace, block_ids, capacity);
+  if (name == "iblp")
+    return run_fast<Iblp>(map, trace, block_ids, capacity,
+                          iblp_config(params, capacity));
+  if (name == "iblp-excl")
+    return run_fast<IblpExclusive>(map, trace, block_ids, capacity,
+                                   iblp_config(params, capacity));
+  if (name == "iblp-blockfirst")
+    return run_fast<IblpBlockFirst>(map, trace, block_ids, capacity,
+                                    iblp_config(params, capacity));
+  if (name == "gcm")
+    return run_fast<Gcm>(
+        map, trace, block_ids, capacity, get_u64(params, "seed", 1),
+        static_cast<std::size_t>(get_u64(params, "sideload", 0)));
+  if (name == "marking-item")
+    return run_fast<MarkingItem>(map, trace, block_ids, capacity,
+                                 get_u64(params, "seed", 1));
+  if (name == "marking-blockmark")
+    return run_fast<MarkingBlockMark>(map, trace, block_ids, capacity,
+                                      get_u64(params, "seed", 1));
+  if (name == "athreshold")
+    return run_fast<AThreshold>(map, trace, block_ids, capacity,
+                                static_cast<unsigned>(get_u64(params, "a", 1)));
+  if (name == "belady-item")
+    return run_fast<BeladyItem>(map, trace, block_ids, capacity);
+  if (name == "belady-block")
+    return run_fast<BeladyBlock>(map, trace, block_ids, capacity);
+  if (name == "belady-greedy-gc")
+    return run_fast<BeladyGreedyGc>(map, trace, block_ids, capacity);
+  GC_REQUIRE(false, "unknown policy spec: " + spec);
+  return {};  // unreachable
+}
+
+SimStats simulate_fast_spec(const std::string& spec, const BlockMap& map,
+                            const Trace& trace, std::size_t capacity) {
+  if (trace.has_block_ids(map))
+    return simulate_fast_spec(spec, map, trace, trace.block_ids(), capacity);
+  const std::vector<BlockId> ids = compute_block_ids(map, trace);
+  return simulate_fast_spec(spec, map, trace,
+                            std::span<const BlockId>(ids), capacity);
+}
+
+SimStats simulate_fast_spec(const std::string& spec, const Workload& workload,
+                            std::size_t capacity) {
+  GC_REQUIRE(workload.map != nullptr, "workload has no block map");
+  return simulate_fast_spec(spec, *workload.map, workload.trace, capacity);
 }
 
 std::vector<std::string> known_policy_names() {

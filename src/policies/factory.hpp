@@ -16,10 +16,13 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/policy.hpp"
+#include "core/stats.hpp"
+#include "core/trace.hpp"
 
 namespace gcaching {
 
@@ -32,5 +35,27 @@ std::unique_ptr<ReplacementPolicy> make_policy(const std::string& spec,
 /// All spec names accepted by make_policy (without parameters), for
 /// enumeration in tests and `--help` text.
 std::vector<std::string> known_policy_names();
+
+/// Fast-path simulation of a policy spec: constructs the *concrete* policy
+/// class the spec names and dispatches to the devirtualized
+/// `simulate_fast<Policy>` engine (core/simulator.hpp) via a type switch
+/// over the registry. SimStats are bit-identical to
+/// `simulate(map, trace, *make_policy(spec, capacity), capacity)`; the
+/// differential harness in tests/test_fast_sim.cpp enforces this for every
+/// spec. `block_ids` must hold each access's block id (see
+/// Trace::precompute_block_ids / compute_block_ids).
+SimStats simulate_fast_spec(const std::string& spec, const BlockMap& map,
+                            const Trace& trace,
+                            std::span<const BlockId> block_ids,
+                            std::size_t capacity);
+
+/// Overload that uses the trace's cached block ids when present, resolving
+/// them in a one-off pass otherwise.
+SimStats simulate_fast_spec(const std::string& spec, const BlockMap& map,
+                            const Trace& trace, std::size_t capacity);
+
+/// Workload-flavored overload.
+SimStats simulate_fast_spec(const std::string& spec, const Workload& workload,
+                            std::size_t capacity);
 
 }  // namespace gcaching

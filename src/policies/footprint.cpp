@@ -122,4 +122,10 @@ std::uint64_t FootprintCache::recorded_footprint(BlockId block) const {
   return footprint_[block];
 }
 
+bool FootprintCache::residents_consistent() const {
+  std::vector<std::uint32_t> counts(residents_.size(), 0);
+  cache().visit_residents([&](ItemId it) { ++counts[map().block_of(it)]; });
+  return counts == residents_;
+}
+
 }  // namespace gcaching

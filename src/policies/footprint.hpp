@@ -45,6 +45,11 @@ class FootprintCache final : public ReplacementPolicy {
   /// episode (bitmask over the block's item positions); 0 if none.
   std::uint64_t recorded_footprint(BlockId block) const;
 
+  /// Audit: recounts per-block residency from the ground-truth cache via
+  /// the allocation-free visitor and compares with the policy's own
+  /// `residents_` counters. O(num_items); meant for tests.
+  bool residents_consistent() const;
+
  private:
   bool cold_whole_block_;
   std::unique_ptr<IndexedList> lru_;            // item recency

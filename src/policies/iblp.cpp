@@ -55,10 +55,10 @@ void Iblp::insert_into_item_layer(ItemId item) {
 void Iblp::evict_lru_block() {
   const BlockId victim = block_lru_->pop_back();
   b_used_ -= map().block_size(victim);
-  for (ItemId it : map().items_of(victim)) {
-    // Items duplicated into the item layer stay resident there.
+  // Items duplicated into the item layer stay resident there.
+  cache().visit_residents_of_block(victim, [this](ItemId it) {
     if (!item_lru_->contains(it)) cache().evict(it);
-  }
+  });
 }
 
 void Iblp::on_hit(ItemId item) {
@@ -135,13 +135,13 @@ std::size_t IblpExclusive::uncovered_need(BlockId block) const {
 
 void IblpExclusive::evict_lru_block() {
   const BlockId victim = block_lru_->pop_back();
-  for (ItemId it : map().items_of(victim)) {
+  cache().visit_residents_of_block(victim, [this](ItemId it) {
     if (covered_[it]) {
       covered_[it] = false;
       --b_used_;
       cache().evict(it);
     }
-  }
+  });
 }
 
 void IblpExclusive::insert_into_item_layer(ItemId item) {
@@ -248,8 +248,9 @@ void IblpBlockFirst::insert_into_item_layer(ItemId item) {
 void IblpBlockFirst::evict_lru_block() {
   const BlockId victim = block_lru_->pop_back();
   b_used_ -= map().block_size(victim);
-  for (ItemId it : map().items_of(victim))
+  cache().visit_residents_of_block(victim, [this](ItemId it) {
     if (!item_lru_->contains(it)) cache().evict(it);
+  });
 }
 
 void IblpBlockFirst::on_hit(ItemId item) {

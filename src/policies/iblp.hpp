@@ -44,6 +44,11 @@ class Iblp final : public ReplacementPolicy {
  public:
   explicit Iblp(IblpConfig cfg) : cfg_(cfg) {}
 
+  /// Promoting a block-layer hit can evict an item-layer victim *during the
+  /// hit* (insert_into_item_layer). The fast engine must then charge
+  /// eviction stats per miss transaction like the verifying engine does.
+  static constexpr bool kEvictsOutsideMiss = true;
+
   void attach(const BlockMap& map, CacheContents& cache) override;
   void on_hit(ItemId item) override;
   void on_miss(ItemId item) override;
@@ -75,6 +80,9 @@ class Iblp final : public ReplacementPolicy {
 class IblpExclusive final : public ReplacementPolicy {
  public:
   explicit IblpExclusive(IblpConfig cfg) : cfg_(cfg) {}
+
+  /// See Iblp::kEvictsOutsideMiss — hit-path promotions evict here too.
+  static constexpr bool kEvictsOutsideMiss = true;
 
   void attach(const BlockMap& map, CacheContents& cache) override;
   void on_hit(ItemId item) override;

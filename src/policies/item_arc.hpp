@@ -21,6 +21,9 @@ namespace gcaching {
 
 class ItemArc final : public ReplacementPolicy {
  public:
+  /// Loads only the requested item, never a sibling (see simulate_fast).
+  static constexpr bool kRequestedLoadsOnly = true;
+
   ItemArc() = default;
 
   void attach(const BlockMap& map, CacheContents& cache) override;

@@ -15,6 +15,9 @@ namespace gcaching {
 
 class ItemClock final : public ReplacementPolicy {
  public:
+  /// Loads only the requested item, never a sibling (see simulate_fast).
+  static constexpr bool kRequestedLoadsOnly = true;
+
   ItemClock() = default;
 
   void attach(const BlockMap& map, CacheContents& cache) override;

@@ -17,6 +17,9 @@ namespace gcaching {
 
 class ItemFifo final : public ReplacementPolicy {
  public:
+  /// Loads only the requested item, never a sibling (see simulate_fast).
+  static constexpr bool kRequestedLoadsOnly = true;
+
   ItemFifo() = default;
 
   void attach(const BlockMap& map, CacheContents& cache) override;

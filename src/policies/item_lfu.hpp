@@ -16,6 +16,9 @@ namespace gcaching {
 
 class ItemLfu final : public ReplacementPolicy {
  public:
+  /// Loads only the requested item, never a sibling (see simulate_fast).
+  static constexpr bool kRequestedLoadsOnly = true;
+
   ItemLfu() = default;
 
   void attach(const BlockMap& map, CacheContents& cache) override;

@@ -17,11 +17,36 @@ class ItemLru final : public ReplacementPolicy {
  public:
   ItemLru() = default;
 
-  void attach(const BlockMap& map, CacheContents& cache) override;
-  void on_hit(ItemId item) override;
-  void on_miss(ItemId item) override;
-  void reset() override;
+  /// Loads only the requested item, never a sibling (see simulate_fast).
+  static constexpr bool kRequestedLoadsOnly = true;
+
+  // Inline (with the callbacks below) so the fast engine's instantiation
+  // sees the attachment: the compiler then knows cache() is the engine's
+  // own CacheContents and keeps its members in registers across calls.
+  void attach(const BlockMap& map, CacheContents& cache) override {
+    set_attachment(map, cache);
+    lru_ = std::make_unique<IndexedList>(map.num_items());
+  }
+
+  void reset() override {
+    if (lru_) lru_->clear();
+  }
+
   std::string name() const override { return "item-lru"; }
+
+  // The per-access callbacks are defined here so `simulate_fast<ItemLru>`
+  // inlines them into its loop; an out-of-line call per access costs more
+  // than the callback body itself.
+  void on_hit(ItemId item) override { lru_->move_to_front(item); }
+
+  void on_miss(ItemId item) override {
+    if (cache().full()) {
+      const ItemId victim = lru_->pop_back();
+      cache().evict(victim);
+    }
+    cache().load(item);
+    lru_->push_front(item);
+  }
 
   /// Recency order MRU->LRU (for tests).
   std::vector<ItemId> recency_order() const { return lru_->to_vector(); }

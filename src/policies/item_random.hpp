@@ -14,6 +14,9 @@ namespace gcaching {
 
 class ItemRandom final : public ReplacementPolicy {
  public:
+  /// Loads only the requested item, never a sibling (see simulate_fast).
+  static constexpr bool kRequestedLoadsOnly = true;
+
   explicit ItemRandom(std::uint64_t seed = 1) : seed_(seed), rng_(seed) {}
 
   void attach(const BlockMap& map, CacheContents& cache) override;

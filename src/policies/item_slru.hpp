@@ -17,6 +17,9 @@ namespace gcaching {
 
 class ItemSlru final : public ReplacementPolicy {
  public:
+  /// Loads only the requested item, never a sibling (see simulate_fast).
+  static constexpr bool kRequestedLoadsOnly = true;
+
   /// `protected_fraction` of the capacity is reserved for the protected
   /// segment (clamped to [0, capacity-1] slots so probation is never empty).
   explicit ItemSlru(double protected_fraction = 0.5);

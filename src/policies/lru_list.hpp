@@ -5,6 +5,8 @@
 // by the id itself (item id or block id). Every operation is O(1) with no
 // allocation on the hot path, and membership is an O(1) flag check, which is
 // what makes the simulator fast enough for multi-million-access sweeps.
+// Per-operation contracts are hot-tier (GC_HOT_REQUIRE): enforced by
+// default, compiled out under GC_FAST_SIM.
 #pragma once
 
 #include <cstddef>
@@ -20,7 +22,7 @@ class IndexedList {
   using Id = std::uint32_t;
 
   explicit IndexedList(std::size_t universe)
-      : nodes_(universe + 1) {  // last node is the sentinel
+      : nodes_(universe + 1, Node{kNull, kNull}) {  // last is the sentinel
     const Id s = sentinel();
     nodes_[s].prev = s;
     nodes_[s].next = s;
@@ -31,48 +33,48 @@ class IndexedList {
   bool empty() const noexcept { return size_ == 0; }
 
   bool contains(Id id) const {
-    GC_REQUIRE(id < universe(), "id out of range");
-    return nodes_[id].in_list;
+    GC_HOT_REQUIRE(id < universe(), "id out of range");
+    return nodes_[id].next != kNull;
   }
 
   /// Most-recently-used end.
   Id front() const {
-    GC_REQUIRE(!empty(), "front() of empty list");
+    GC_HOT_REQUIRE(!empty(), "front() of empty list");
     return nodes_[sentinel()].next;
   }
 
   /// Least-recently-used end.
   Id back() const {
-    GC_REQUIRE(!empty(), "back() of empty list");
+    GC_HOT_REQUIRE(!empty(), "back() of empty list");
     return nodes_[sentinel()].prev;
   }
 
   void push_front(Id id) {
-    GC_REQUIRE(id < universe(), "id out of range");
-    GC_REQUIRE(!nodes_[id].in_list, "id already in list");
+    GC_HOT_REQUIRE(id < universe(), "id out of range");
+    GC_HOT_REQUIRE(nodes_[id].next == kNull, "id already in list");
     link_after(sentinel(), id);
-    nodes_[id].in_list = true;
     ++size_;
   }
 
   void push_back(Id id) {
-    GC_REQUIRE(id < universe(), "id out of range");
-    GC_REQUIRE(!nodes_[id].in_list, "id already in list");
+    GC_HOT_REQUIRE(id < universe(), "id out of range");
+    GC_HOT_REQUIRE(nodes_[id].next == kNull, "id already in list");
     link_after(nodes_[sentinel()].prev, id);
-    nodes_[id].in_list = true;
     ++size_;
   }
 
   void remove(Id id) {
-    GC_REQUIRE(id < universe(), "id out of range");
-    GC_REQUIRE(nodes_[id].in_list, "removing id not in list");
+    GC_HOT_REQUIRE(id < universe(), "id out of range");
+    GC_HOT_REQUIRE(nodes_[id].next != kNull, "removing id not in list");
     unlink(id);
-    nodes_[id].in_list = false;
+    nodes_[id] = Node{kNull, kNull};
     --size_;
   }
 
   void move_to_front(Id id) {
-    GC_REQUIRE(nodes_[id].in_list, "move_to_front of id not in list");
+    GC_HOT_REQUIRE(nodes_[id].next != kNull,
+                   "move_to_front of id not in list");
+    if (nodes_[sentinel()].next == id) return;  // already most recent
     unlink(id);
     link_after(sentinel(), id);
   }
@@ -85,7 +87,7 @@ class IndexedList {
 
   void clear() {
     // O(universe) — only used between runs, never on the hot path.
-    for (auto& n : nodes_) n = Node{};
+    for (auto& n : nodes_) n = Node{kNull, kNull};
     const Id s = sentinel();
     nodes_[s].prev = s;
     nodes_[s].next = s;
@@ -114,10 +116,12 @@ class IndexedList {
   }
 
  private:
+  // 8-byte node: membership is encoded as next != kNull, so the whole
+  // recency state an operation touches is a handful of 8-byte slots.
+  static constexpr Id kNull = static_cast<Id>(-1);
   struct Node {
-    Id prev = 0;
-    Id next = 0;
-    bool in_list = false;
+    Id prev;
+    Id next;
   };
 
   Id sentinel() const noexcept { return static_cast<Id>(nodes_.size() - 1); }

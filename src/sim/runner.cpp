@@ -25,13 +25,30 @@ std::vector<SweepCell> run_sweep(const SweepSpec& spec) {
         cell.capacity = spec.capacities[c];
       }
 
+  // Resolve each workload's per-access block ids once, up front: every
+  // fast-path cell of the same workload shares one read-only vector, so no
+  // cell pays a virtual BlockMap::block_of call in its hot loop.
+  std::vector<std::vector<BlockId>> block_ids(nw);
+  if (spec.use_fast_path)
+    for (std::size_t w = 0; w < nw; ++w) {
+      const Workload& workload = (*spec.workloads)[w];
+      GC_REQUIRE(workload.map != nullptr, "workload has no block map");
+      block_ids[w] = compute_block_ids(*workload.map, workload.trace);
+    }
+
   ThreadPool pool(spec.threads);
   pool.parallel_for(cells.size(), [&](std::size_t idx) {
     SweepCell& cell = cells[idx];
     const Workload& workload = (*spec.workloads)[cell.workload_index];
-    auto policy =
-        make_policy(spec.policy_specs[cell.policy_index], cell.capacity);
-    cell.stats = simulate(workload, *policy, cell.capacity);
+    const std::string& policy_spec = spec.policy_specs[cell.policy_index];
+    if (spec.use_fast_path) {
+      cell.stats =
+          simulate_fast_spec(policy_spec, *workload.map, workload.trace,
+                             block_ids[cell.workload_index], cell.capacity);
+    } else {
+      auto policy = make_policy(policy_spec, cell.capacity);
+      cell.stats = simulate(workload, *policy, cell.capacity);
+    }
   });
   return cells;
 }

@@ -31,6 +31,11 @@ struct SweepSpec {
   std::vector<std::size_t> capacities;
   /// 0 = hardware concurrency.
   std::size_t threads = 0;
+  /// Use the devirtualized fast-path engine (simulate_fast_spec) with
+  /// per-workload precomputed block ids. Produces bit-identical SimStats to
+  /// the verifying engine — switch off to exercise the step-wise
+  /// `Simulation` path instead (e.g. when debugging a new policy).
+  bool use_fast_path = true;
 };
 
 /// Runs the full cross product and returns cells in deterministic

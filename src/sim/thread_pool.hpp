@@ -8,6 +8,7 @@
 //     instead of being swallowed by a worker thread.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -69,10 +70,25 @@ class ThreadPool {
   }
 
   /// Convenience: run fn(i) for i in [0, count) across the pool and wait.
+  /// Indices are submitted as contiguous chunks — a handful of tasks per
+  /// worker — rather than one heap-allocated std::function per index, so
+  /// large sweeps spend their time simulating instead of contending on the
+  /// queue mutex. If a call throws, the remaining indices of *that chunk*
+  /// are skipped; wait() rethrows the first exception either way.
   template <typename Fn>
   void parallel_for(std::size_t count, Fn&& fn) {
-    for (std::size_t i = 0; i < count; ++i)
-      submit([&fn, i] { fn(i); });
+    if (count == 0) return;
+    // ~4 chunks per worker balances load (cells vary in cost) against
+    // per-task queue/allocation overhead.
+    const std::size_t target_chunks =
+        std::min<std::size_t>(count, num_threads() * 4);
+    const std::size_t chunk = (count + target_chunks - 1) / target_chunks;
+    for (std::size_t begin = 0; begin < count; begin += chunk) {
+      const std::size_t end = std::min(begin + chunk, count);
+      submit([&fn, begin, end] {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      });
+    }
     wait();
   }
 

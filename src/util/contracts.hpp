@@ -1,10 +1,19 @@
-// Always-on checked contracts.
+// Checked contracts, in two tiers.
 //
 // The simulator in this project is a *verifying* simulator: model invariants
 // (Definition 1 of the paper) are enforced at runtime rather than assumed.
 // Contract violations indicate a policy or harness bug and therefore throw
 // `gcaching::ContractViolation` instead of invoking UB, so tests can assert
 // on them and long benchmark runs fail loudly.
+//
+// Tiers:
+//   * GC_REQUIRE / GC_ENSURE / GC_CHECK — cold-path contracts (construction,
+//     configuration, per-run setup). Always on, in every build.
+//   * GC_HOT_REQUIRE / GC_HOT_ENSURE / GC_HOT_CHECK — per-access contracts on
+//     the simulation hot path (CacheContents mutations, recency-list ops).
+//     On by default; compiled to nothing when the GC_FAST_SIM build
+//     configuration is active (see docs/PERF.md), which is what lets the
+//     fast-path engine run multi-million-access sweeps at memory speed.
 #pragma once
 
 #include <sstream>
@@ -33,6 +42,14 @@ namespace detail {
 
 }  // namespace detail
 
+/// True when hot-path contracts are compiled in (i.e. not a GC_FAST_SIM
+/// build). Lets tests and benches report which configuration they measured.
+#if defined(GC_FAST_SIM)
+inline constexpr bool kHotChecksEnabled = false;
+#else
+inline constexpr bool kHotChecksEnabled = true;
+#endif
+
 }  // namespace gcaching
 
 /// Precondition check: argument/state requirements at function entry.
@@ -58,3 +75,20 @@ namespace detail {
       ::gcaching::detail::contract_fail("invariant", #cond, __FILE__,      \
                                         __LINE__, (msg));                  \
   } while (0)
+
+// Hot-path tier: identical to the cold-path macros by default; compiled to
+// nothing under GC_FAST_SIM. The disabled form keeps `cond` as an
+// unevaluated operand so variables referenced only by checks stay "used"
+// (no -Wunused breakage) and side effects are impossible either way.
+#if defined(GC_FAST_SIM)
+#define GC_HOT_REQUIRE(cond, msg) \
+  do {                            \
+    (void)sizeof((cond) ? 1 : 0); \
+  } while (0)
+#define GC_HOT_ENSURE(cond, msg) GC_HOT_REQUIRE(cond, msg)
+#define GC_HOT_CHECK(cond, msg) GC_HOT_REQUIRE(cond, msg)
+#else
+#define GC_HOT_REQUIRE(cond, msg) GC_REQUIRE(cond, msg)
+#define GC_HOT_ENSURE(cond, msg) GC_ENSURE(cond, msg)
+#define GC_HOT_CHECK(cond, msg) GC_CHECK(cond, msg)
+#endif

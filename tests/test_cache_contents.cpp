@@ -8,6 +8,11 @@
 namespace gcaching {
 namespace {
 
+// Contract-violation tests exercise the hot-tier checks, which the
+// GC_FAST_SIM configuration compiles out; skip them there.
+#define SKIP_WITHOUT_HOT_CHECKS() \
+  if (!kHotChecksEnabled) GTEST_SKIP() << "hot checks compiled out"
+
 class CacheContentsTest : public ::testing::Test {
  protected:
   CacheContentsTest() : map_(12, 4), cache_(map_, 6) {}
@@ -23,6 +28,7 @@ TEST_F(CacheContentsTest, StartsEmpty) {
 }
 
 TEST_F(CacheContentsTest, LoadOutsideMissThrows) {
+  SKIP_WITHOUT_HOT_CHECKS();
   EXPECT_THROW(cache_.load(0), ContractViolation);
 }
 
@@ -49,6 +55,7 @@ TEST_F(CacheContentsTest, SideloadWithinBlockAllowed) {
 }
 
 TEST_F(CacheContentsTest, LoadOutsideMissedBlockThrows) {
+  SKIP_WITHOUT_HOT_CHECKS();
   cache_.begin_miss(1);  // block 0 = items 0..3
   EXPECT_THROW(cache_.load(4), ContractViolation);  // block 1
   cache_.load(1);
@@ -56,12 +63,14 @@ TEST_F(CacheContentsTest, LoadOutsideMissedBlockThrows) {
 }
 
 TEST_F(CacheContentsTest, EndMissWithoutRequestedItemThrows) {
+  SKIP_WITHOUT_HOT_CHECKS();
   cache_.begin_miss(1);
   cache_.load(0);  // sideload only, requested item 1 not loaded
   EXPECT_THROW(cache_.end_miss(), ContractViolation);
 }
 
 TEST_F(CacheContentsTest, CapacityEnforcedAtLoadTime) {
+  SKIP_WITHOUT_HOT_CHECKS();
   // Fill to capacity 6 via two blocks.
   cache_.begin_miss(0);
   for (ItemId it = 0; it < 4; ++it) cache_.load(it);
@@ -77,6 +86,7 @@ TEST_F(CacheContentsTest, CapacityEnforcedAtLoadTime) {
 }
 
 TEST_F(CacheContentsTest, BeginMissOnResidentItemThrows) {
+  SKIP_WITHOUT_HOT_CHECKS();
   cache_.begin_miss(2);
   cache_.load(2);
   cache_.end_miss();
@@ -84,6 +94,7 @@ TEST_F(CacheContentsTest, BeginMissOnResidentItemThrows) {
 }
 
 TEST_F(CacheContentsTest, DoubleLoadThrows) {
+  SKIP_WITHOUT_HOT_CHECKS();
   cache_.begin_miss(2);
   cache_.load(2);
   EXPECT_THROW(cache_.load(2), ContractViolation);
@@ -91,6 +102,7 @@ TEST_F(CacheContentsTest, DoubleLoadThrows) {
 }
 
 TEST_F(CacheContentsTest, EvictNonResidentThrows) {
+  SKIP_WITHOUT_HOT_CHECKS();
   cache_.begin_miss(2);
   EXPECT_THROW(cache_.evict(7), ContractViolation);
   cache_.load(2);
@@ -137,10 +149,12 @@ TEST_F(CacheContentsTest, WastedSideloadAccounting) {
 }
 
 TEST_F(CacheContentsTest, RecordHitOnAbsentThrows) {
+  SKIP_WITHOUT_HOT_CHECKS();
   EXPECT_THROW(cache_.record_hit(0), ContractViolation);
 }
 
 TEST_F(CacheContentsTest, RecordHitDuringMissThrows) {
+  SKIP_WITHOUT_HOT_CHECKS();
   cache_.begin_miss(1);
   cache_.load(1);
   EXPECT_THROW(cache_.record_hit(1), ContractViolation);

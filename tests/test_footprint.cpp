@@ -110,5 +110,18 @@ TEST(Footprint, SurvivesTightCapacity) {
   EXPECT_NO_THROW(simulate(w, fp, 8));  // capacity == B
 }
 
+TEST(Footprint, ResidentCountersMatchCacheThroughout) {
+  // The policy's per-block `residents_` counters shadow the ground-truth
+  // CacheContents residency; audit them against visit_residents at every
+  // step of a churny workload.
+  const auto w = traces::zipf_blocks(32, 8, 2000, 0.9, 5, 11);
+  FootprintCache fp;
+  Simulation sim(*w.map, fp, 24);
+  for (ItemId it : w.trace.accesses()) {
+    sim.access(it);
+    ASSERT_TRUE(fp.residents_consistent());
+  }
+}
+
 }  // namespace
 }  // namespace gcaching

@@ -12,10 +12,16 @@
 #include "policies/item_slru.hpp"
 #include "policies/lru_list.hpp"
 #include "traces/synthetic.hpp"
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace gcaching {
 namespace {
+
+// IndexedList misuse checks are hot-tier (GC_HOT_REQUIRE) and compiled out
+// of the GC_FAST_SIM configuration; skip the throw tests there.
+#define SKIP_WITHOUT_HOT_CHECKS() \
+  if (!kHotChecksEnabled) GTEST_SKIP() << "hot checks compiled out"
 
 // ---------------------------------------------------------------------------
 // IndexedList
@@ -68,17 +74,20 @@ TEST(IndexedList, PushBack) {
 }
 
 TEST(IndexedList, DoubleInsertThrows) {
+  SKIP_WITHOUT_HOT_CHECKS();
   IndexedList l(4);
   l.push_front(1);
   EXPECT_THROW(l.push_front(1), ContractViolation);
 }
 
 TEST(IndexedList, RemoveAbsentThrows) {
+  SKIP_WITHOUT_HOT_CHECKS();
   IndexedList l(4);
   EXPECT_THROW(l.remove(2), ContractViolation);
 }
 
 TEST(IndexedList, EmptyBackThrows) {
+  SKIP_WITHOUT_HOT_CHECKS();
   IndexedList l(4);
   EXPECT_THROW(l.back(), ContractViolation);
 }

@@ -173,18 +173,33 @@ int cmd_generate(const Args& args) {
   return 0;
 }
 
+// `--mode fast` (default) runs the devirtualized fast-path engine;
+// `--mode verify` forces the step-wise verifying Simulation. Results are
+// bit-identical; verify mode is for debugging policies / the harness.
+bool use_fast_mode(const Args& args) {
+  const std::string mode = args.get("mode", std::string("fast"));
+  if (mode == "fast") return true;
+  if (mode == "verify") return false;
+  std::cerr << "unknown --mode " << mode << " (fast|verify)\n";
+  std::exit(2);
+}
+
 int cmd_simulate(const Args& args) {
-  const Workload w = load_workload_file(args.get("workload"));
+  Workload w = load_workload_file(args.get("workload"));
   const std::size_t capacity = args.get_u64("capacity");
+  const bool fast = use_fast_mode(args);
+  if (fast) w.trace.precompute_block_ids(*w.map);
   auto specs = args.get_all("policy");
   if (specs.empty()) specs = {"item-lru", "block-lru", "iblp"};
   std::cout << "workload: " << w.name << " (" << w.trace.size()
-            << " accesses), capacity " << capacity << "\n";
+            << " accesses), capacity " << capacity
+            << (fast ? ", fast engine" : ", verifying engine") << "\n";
   TextTable table({"policy", "misses", "miss rate", "temporal", "spatial",
                    "loads/miss", "wasted"});
   for (const auto& spec : specs) {
     auto policy = make_policy(spec, capacity);
-    const SimStats s = simulate(w, *policy, capacity);
+    const SimStats s = fast ? simulate_fast_spec(spec, w, capacity)
+                            : simulate(w, *policy, capacity);
     table.add_row({policy->name(), TextTable::fmt_int(s.misses),
                    TextTable::fmt(s.miss_rate(), 4),
                    TextTable::fmt_int(s.temporal_hits),
@@ -209,6 +224,7 @@ int cmd_sweep(const Args& args) {
   spec.policy_specs = split_csv(args.get("policies"));
   spec.capacities = split_sizes(args.get("capacities"));
   spec.threads = args.get_u64("threads", 0);
+  spec.use_fast_path = use_fast_mode(args);
   const auto cells = sim::run_sweep(spec);
 
   TextTable table({"workload", "policy", "capacity", "misses", "miss rate",
@@ -479,9 +495,11 @@ subcommands:
              --cold --scan --p --gamma]
   simulate   run policies over a workload file
              --workload FILE --capacity N [--policy SPEC]...
+             [--mode fast|verify]
   sweep      policy x capacity grid, in parallel
              --workload FILE [--workload FILE]... --policies A,B,..
              --capacities N,M,.. [--threads T] [--csv FILE]
+             [--mode fast|verify]
   profile    measure f(n)/g(n) locality profiles and power-law fits
              --workload FILE [--windows N1,N2,..]
   mrc        exact LRU miss-ratio curves (item and block granularity)
