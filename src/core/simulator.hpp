@@ -14,9 +14,15 @@
 // tests/test_fast_sim.cpp for every policy in the factory. Under the
 // GC_FAST_SIM build configuration the hot-tier contracts additionally
 // compile to nothing (see docs/PERF.md).
+//
+// `simulate_column<Policy>()` batches a whole capacity column of one
+// (workload, policy) row into a single trace pass by advancing one cache
+// lane per capacity together — the sweep engine's shared-pass mode
+// (tests/test_sweep_batched.cpp holds it to bit-identical stats too).
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -64,6 +70,83 @@ SimStats simulate(const BlockMap& map, const Trace& trace,
 SimStats simulate(const Workload& workload, ReplacementPolicy& policy,
                   std::size_t capacity);
 
+namespace detail {
+
+// The verifying engine charges eviction stats per miss transaction, so
+// evictions a policy performs on *hits* (IBLP's item-layer reshuffling)
+// are excluded from SimStats. Policies that do that declare it with
+// `kEvictsOutsideMiss`; only for them do we pay the per-miss counter
+// snapshots. Loads are only legal inside a miss for every policy, so the
+// load counters are always safe to read once at the end.
+template <typename Policy>
+inline constexpr bool kHitPathEvictions = [] {
+  if constexpr (requires { Policy::kEvictsOutsideMiss; })
+    return Policy::kEvictsOutsideMiss;
+  else
+    return false;
+}();
+
+// Policies that only ever load the requested item can skip the hit
+// taxonomy: every hit is temporal and the touched bit is already set
+// (record_requested_hit contract-checks the claim in checking builds).
+template <typename Policy>
+inline constexpr bool kRequestedOnly = [] {
+  if constexpr (requires { Policy::kRequestedLoadsOnly; })
+    return Policy::kRequestedLoadsOnly;
+  else
+    return false;
+}();
+
+/// One access of the fast engine. Only the counters that cannot be derived
+/// afterwards are maintained here: misses, spatial hits, and (for
+/// kHitPathEvictions policies) the per-miss eviction deltas.
+/// accesses / hits / temporal_hits follow arithmetically in
+/// `fast_finalize`, and the load counters live in CacheContents already.
+template <typename Policy>
+inline void fast_step(CacheContents& cache, Policy& policy, SimStats& stats,
+                      ItemId item, BlockId block) {
+  if (cache.contains(item)) {
+    if constexpr (kRequestedOnly<Policy>) {
+      cache.record_requested_hit(item);
+    } else {
+      if (cache.record_hit(item) == HitKind::kSpatial) ++stats.spatial_hits;
+    }
+    policy.on_hit(item);
+    return;
+  }
+  ++stats.misses;
+  if constexpr (kHitPathEvictions<Policy>) {
+    const std::uint64_t evictions_before = cache.evictions();
+    const std::uint64_t wasted_before = cache.wasted_sideloads();
+    cache.begin_miss(item, block);
+    policy.on_miss(item);
+    cache.end_miss();
+    stats.evictions += cache.evictions() - evictions_before;
+    stats.wasted_sideloads += cache.wasted_sideloads() - wasted_before;
+  } else {
+    cache.begin_miss(item, block);
+    policy.on_miss(item);
+    cache.end_miss();
+  }
+}
+
+/// Fills in the derivable counters after the last `fast_step`.
+template <typename Policy>
+inline void fast_finalize(const CacheContents& cache, SimStats& stats,
+                          std::uint64_t num_accesses) {
+  stats.accesses = num_accesses;
+  stats.hits = stats.accesses - stats.misses;
+  stats.temporal_hits = stats.hits - stats.spatial_hits;
+  stats.items_loaded = cache.items_loaded();
+  stats.sideloads = cache.sideloads();
+  if constexpr (!kHitPathEvictions<Policy>) {
+    stats.evictions = cache.evictions();
+    stats.wasted_sideloads = cache.wasted_sideloads();
+  }
+}
+
+}  // namespace detail
+
 /// Fast-path engine. `Policy` is the concrete (final) policy class; the
 /// caller supplies each access's block id via `block_ids` (see
 /// Trace::precompute_block_ids / compute_block_ids). Performs the exact
@@ -82,67 +165,64 @@ SimStats simulate_fast(const BlockMap& map, const Trace& trace,
   cache.set_load_time_tracking(false);  // cold feature; saves a store per load
   SimStats stats;
   const std::vector<ItemId>& accesses = trace.accesses();
-  // The verifying engine charges eviction stats per miss transaction, so
-  // evictions a policy performs on *hits* (IBLP's item-layer reshuffling)
-  // are excluded from SimStats. Policies that do that declare it with
-  // `kEvictsOutsideMiss`; only for them do we pay the per-miss counter
-  // snapshots. Loads are only legal inside a miss for every policy, so the
-  // load counters are always safe to read once at the end.
-  constexpr bool kHitPathEvictions = [] {
-    if constexpr (requires { Policy::kEvictsOutsideMiss; })
-      return Policy::kEvictsOutsideMiss;
-    else
-      return false;
-  }();
-  // Policies that only ever load the requested item can skip the hit
-  // taxonomy: every hit is temporal and the touched bit is already set
-  // (record_requested_hit contract-checks the claim in checking builds).
-  constexpr bool kRequestedOnly = [] {
-    if constexpr (requires { Policy::kRequestedLoadsOnly; })
-      return Policy::kRequestedLoadsOnly;
-    else
-      return false;
-  }();
-  // Only the counters that cannot be derived afterwards are maintained in
-  // the loop: misses, spatial hits, and (for kHitPathEvictions policies)
-  // the per-miss eviction deltas. accesses / hits / temporal_hits follow
-  // arithmetically, and the load counters live in CacheContents already.
+  for (std::size_t i = 0; i < accesses.size(); ++i)
+    detail::fast_step(cache, policy, stats, accesses[i], block_ids[i]);
+  detail::fast_finalize<Policy>(cache, stats, accesses.size());
+  return stats;
+}
+
+/// Capacity-batched column engine: all capacities of one (workload, policy)
+/// row in a SINGLE pass over the trace. Each capacity keeps its own cache
+/// state and policy instance (a "lane"); every access is stepped through all
+/// lanes before the next access is read, so the trace and block-id streams
+/// are pulled through the memory hierarchy once per row instead of once per
+/// cell. Each lane runs the exact `fast_step` transitions of
+/// `simulate_fast`, so stats[i] is bit-identical to a per-cell run at
+/// capacities[i].
+///
+/// `make_policy(capacity)` must return a fresh `Policy` by value (guaranteed
+/// elision — policies are neither copyable nor movable); it is called once
+/// per capacity, letting capacity-dependent configs (e.g. IBLP partitions)
+/// resolve per lane.
+template <typename Policy, typename MakePolicy>
+std::vector<SimStats> simulate_column(const BlockMap& map, const Trace& trace,
+                                      std::span<const std::size_t> capacities,
+                                      std::span<const BlockId> block_ids,
+                                      MakePolicy&& make_policy) {
+  GC_REQUIRE(block_ids.size() == trace.size(),
+             "one precomputed block id per access is required");
+  // CacheContents holds a reference and policies delete their copy ops, so
+  // lanes live behind unique_ptr rather than in a flat vector.
+  struct Lane {
+    CacheContents cache;
+    Policy policy;
+    SimStats stats;
+    Lane(const BlockMap& m, std::size_t capacity, MakePolicy& mk)
+        : cache(m, capacity), policy(mk(capacity)) {}
+  };
+  std::vector<std::unique_ptr<Lane>> lanes;
+  lanes.reserve(capacities.size());
+  for (const std::size_t capacity : capacities) {
+    lanes.push_back(std::make_unique<Lane>(map, capacity, make_policy));
+    Lane& lane = *lanes.back();
+    lane.policy.attach(map, lane.cache);
+    lane.policy.prepare(trace);
+    lane.cache.set_load_time_tracking(false);
+  }
+  const std::vector<ItemId>& accesses = trace.accesses();
   for (std::size_t i = 0; i < accesses.size(); ++i) {
     const ItemId item = accesses[i];
-    if (cache.contains(item)) {
-      if constexpr (kRequestedOnly) {
-        cache.record_requested_hit(item);
-      } else {
-        if (cache.record_hit(item) == HitKind::kSpatial) ++stats.spatial_hits;
-      }
-      policy.on_hit(item);
-      continue;
-    }
-    ++stats.misses;
-    if constexpr (kHitPathEvictions) {
-      const std::uint64_t evictions_before = cache.evictions();
-      const std::uint64_t wasted_before = cache.wasted_sideloads();
-      cache.begin_miss(item, block_ids[i]);
-      policy.on_miss(item);
-      cache.end_miss();
-      stats.evictions += cache.evictions() - evictions_before;
-      stats.wasted_sideloads += cache.wasted_sideloads() - wasted_before;
-    } else {
-      cache.begin_miss(item, block_ids[i]);
-      policy.on_miss(item);
-      cache.end_miss();
-    }
+    const BlockId block = block_ids[i];
+    for (const std::unique_ptr<Lane>& lane : lanes)
+      detail::fast_step(lane->cache, lane->policy, lane->stats, item, block);
   }
-  stats.accesses = accesses.size();
-  stats.hits = stats.accesses - stats.misses;
-  stats.temporal_hits = stats.hits - stats.spatial_hits;
-  stats.items_loaded = cache.items_loaded();
-  stats.sideloads = cache.sideloads();
-  if constexpr (!kHitPathEvictions) {
-    stats.evictions = cache.evictions();
-    stats.wasted_sideloads = cache.wasted_sideloads();
+  std::vector<SimStats> out;
+  out.reserve(lanes.size());
+  for (const std::unique_ptr<Lane>& lane : lanes) {
+    detail::fast_finalize<Policy>(lane->cache, lane->stats, accesses.size());
+    out.push_back(lane->stats);
   }
-  return stats;
+  return out;
 }
 
 /// Convenience overload: uses the trace's cached block ids when present

@@ -1,0 +1,173 @@
+#include "locality/stack_column.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "locality/mrc.hpp"
+#include "util/contracts.hpp"
+
+namespace gcaching::locality {
+
+namespace {
+
+/// Suffix-capped prefix sums of a difference array: out[c] = number of
+/// recorded intervals [lo, hi) containing c.
+std::vector<std::uint64_t> integrate(const std::vector<std::int64_t>& diff) {
+  std::vector<std::uint64_t> out(diff.size());
+  std::int64_t run = 0;
+  for (std::size_t c = 0; c < diff.size(); ++c) {
+    run += diff[c];
+    GC_CHECK(run >= 0, "interval accounting went negative");
+    out[c] = static_cast<std::uint64_t>(run);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool block_column_supported(const BlockMap& map) {
+  return map.max_block_size() >= 1 &&
+         map.num_items() == map.num_blocks() * map.max_block_size();
+}
+
+std::vector<SimStats> item_lru_column(const BlockMap& map, const Trace& trace,
+                                      std::span<const std::size_t> capacities) {
+  const StackDistanceHistogram hist =
+      stack_distances(trace.accesses(), map.num_items());
+  std::vector<SimStats> out(capacities.size());
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    const std::size_t k = capacities[i];
+    GC_REQUIRE(k >= 1, "cache capacity must be at least one item");
+    SimStats& s = out[i];
+    s.accesses = hist.accesses;
+    s.misses = hist.misses_at(k);
+    s.hits = s.accesses - s.misses;
+    // ItemLru is kRequestedLoadsOnly: every hit is temporal, every miss
+    // loads exactly the requested item, and a miss evicts iff the cache is
+    // full — occupancy is min(misses so far, k), so total evictions are the
+    // misses beyond the fill phase.
+    s.temporal_hits = s.hits;
+    s.spatial_hits = 0;
+    s.items_loaded = s.misses;
+    s.sideloads = 0;
+    s.evictions = s.misses > k ? s.misses - k : 0;
+    s.wasted_sideloads = 0;
+  }
+  return out;
+}
+
+std::vector<SimStats> block_lru_column(const BlockMap& map, const Trace& trace,
+                                       std::span<const BlockId> block_ids,
+                                       std::span<const std::size_t> capacities) {
+  GC_REQUIRE(block_column_supported(map),
+             "block-lru stack column needs a uniform partition");
+  GC_REQUIRE(block_ids.size() == trace.size(),
+             "one precomputed block id per access is required");
+  const std::size_t B = map.max_block_size();
+  for (const std::size_t k : capacities)
+    GC_REQUIRE(k >= B, "a Block Cache needs capacity >= B to hold any block");
+
+  const std::size_t nb = map.num_blocks();
+  const std::size_t T = trace.size();
+  // Block stack distances never exceed nb, so nb + 1 acts as infinity; the
+  // difference arrays are indexed by block capacity C clamped to nb.
+  const std::size_t kInf = nb + 1;
+
+  StackDistanceWalker walker(nb, T);
+  std::vector<std::uint64_t> dist_hist(nb + 1, 0);  // finite distances only
+  std::uint64_t cold = 0;
+  // pending[y] = max block stack distance observed at accesses to y's block
+  // since y was last touched (kInf once a cold block load is in the window;
+  // 0 while the block has never been accessed).
+  std::vector<std::size_t> pending(map.num_items(), 0);
+  std::vector<std::size_t> last_block_pos(nb, 0);  // 1-based; 0 = never
+  std::vector<std::int64_t> spatial_diff(nb + 2, 0);
+  std::vector<std::int64_t> wasted_diff(nb + 2, 0);
+
+  const std::vector<ItemId>& accesses = trace.accesses();
+  for (std::size_t t = 0; t < T; ++t) {
+    const ItemId x = accesses[t];
+    const BlockId b = block_ids[t];
+    const std::size_t raw = walker.next(b);
+    const std::size_t d = raw == StackDistanceWalker::kCold ? kInf : raw;
+    if (d == kInf) {
+      ++cold;
+    } else {
+      ++dist_hist[d];
+    }
+    // Hit (d <= C) is spatial iff the block was reloaded since x's last
+    // touch (pending[x] > C): contributes to capacities C in [d, m).
+    const std::size_t m = pending[x];
+    if (d < kInf && m > d) {
+      ++spatial_diff[d];
+      if (m <= nb) --spatial_diff[m];
+    }
+    // Miss (d > C) wastes sibling y iff y went untouched through the whole
+    // previous load/evict cycle (pending[y] > C): C in [0, min(d, m_y)).
+    for (const ItemId y : map.items_of(b)) {
+      const std::size_t w = std::min(d, pending[y]);
+      if (w > 0) {
+        ++wasted_diff[0];
+        GC_CHECK(w <= nb, "wasted interval exceeds the block universe");
+        --wasted_diff[w];
+      }
+    }
+    for (const ItemId y : map.items_of(b))
+      pending[y] = std::max(pending[y], d);
+    pending[x] = 0;  // x is touched now, whatever happened before
+    last_block_pos[b] = t + 1;
+  }
+
+  // Final-stack fixup: the simulator charges wasted sideloads at eviction.
+  // A block at final stack position p is evicted after its last access at
+  // every capacity C < p, wasting each sibling untouched since the last
+  // load (pending[y] > C): C in [0, min(p, pending[y])).
+  {
+    std::vector<BlockId> seen;
+    seen.reserve(nb);
+    for (BlockId b = 0; b < nb; ++b)
+      if (last_block_pos[b] != 0) seen.push_back(b);
+    std::sort(seen.begin(), seen.end(), [&](BlockId a, BlockId c) {
+      return last_block_pos[a] > last_block_pos[c];
+    });
+    for (std::size_t rank = 0; rank < seen.size(); ++rank) {
+      const BlockId b = seen[rank];
+      const std::size_t p = rank + 1;
+      for (const ItemId y : map.items_of(b)) {
+        const std::size_t w = std::min(p, pending[y]);
+        if (w > 0) {
+          ++wasted_diff[0];
+          --wasted_diff[w];
+        }
+      }
+    }
+  }
+
+  const std::vector<std::uint64_t> spatial_at = integrate(spatial_diff);
+  const std::vector<std::uint64_t> wasted_at = integrate(wasted_diff);
+  std::vector<std::uint64_t> hits_at(nb + 1, 0);
+  for (std::size_t c = 1; c <= nb; ++c)
+    hits_at[c] = hits_at[c - 1] + dist_hist[c];
+
+  std::vector<SimStats> out(capacities.size());
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    const std::size_t C = std::min(capacities[i] / B, nb);
+    SimStats& s = out[i];
+    s.accesses = T;
+    s.hits = hits_at[C];
+    s.misses = T - s.hits;
+    s.spatial_hits = spatial_at[C];
+    s.temporal_hits = s.hits - s.spatial_hits;
+    // Whole-block residency: every miss loads the full block (one requested
+    // item, B-1 sideloads) and evicts one whole block once floor(k/B)
+    // blocks are resident.
+    s.items_loaded = s.misses * B;
+    s.sideloads = s.misses * (B - 1);
+    const std::uint64_t blocks_evicted = s.misses > C ? s.misses - C : 0;
+    s.evictions = blocks_evicted * B;
+    s.wasted_sideloads = wasted_at[C];
+  }
+  return out;
+}
+
+}  // namespace gcaching::locality

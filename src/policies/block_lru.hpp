@@ -22,6 +22,12 @@ class BlockLru final : public ReplacementPolicy {
  public:
   BlockLru() = default;
 
+  /// Plain LRU over the block-id stream: the resident block set satisfies
+  /// the inclusion property, so capacity columns can collapse into one
+  /// stack-distance pass (locality/stack_column.hpp) whenever the partition
+  /// is uniform; the factory's column dispatcher keys off this trait.
+  static constexpr bool kIsStackPolicy = true;
+
   void attach(const BlockMap& map, CacheContents& cache) override;
   void on_hit(ItemId item) override;
   void on_miss(ItemId item) override;

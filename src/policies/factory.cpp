@@ -3,8 +3,10 @@
 #include <cstdint>
 #include <map>
 #include <sstream>
+#include <type_traits>
 
 #include "core/simulator.hpp"
+#include "locality/stack_column.hpp"
 #include "policies/athreshold.hpp"
 #include "policies/belady.hpp"
 #include "policies/block_fifo.hpp"
@@ -76,6 +78,47 @@ SimStats run_fast(const BlockMap& map, const Trace& trace,
                   Args&&... args) {
   Policy policy(std::forward<Args>(args)...);
   return simulate_fast(map, trace, policy, capacity, block_ids);
+}
+
+/// Column analogue of run_fast: one shared trace pass for every capacity.
+/// Stack policies (kIsStackPolicy) get their column collapsed into a single
+/// stack-distance pass when eligible; in checking builds the derivation is
+/// cross-checked against the lane engine cell by cell before being trusted.
+template <typename Policy, typename MakePolicy>
+std::vector<SimStats> run_column(const BlockMap& map, const Trace& trace,
+                                 std::span<const BlockId> block_ids,
+                                 std::span<const std::size_t> capacities,
+                                 bool allow_stack, MakePolicy&& make_policy) {
+  constexpr bool kStack = [] {
+    if constexpr (requires { Policy::kIsStackPolicy; })
+      return Policy::kIsStackPolicy;
+    else
+      return false;
+  }();
+  if constexpr (kStack) {
+    static_assert(std::is_same_v<Policy, ItemLru> ||
+                      std::is_same_v<Policy, BlockLru>,
+                  "no stack-column derivation registered for this policy");
+    const bool eligible =
+        std::is_same_v<Policy, ItemLru> || locality::block_column_supported(map);
+    if (allow_stack && eligible) {
+      std::vector<SimStats> derived;
+      if constexpr (std::is_same_v<Policy, ItemLru>)
+        derived = locality::item_lru_column(map, trace, capacities);
+      else
+        derived = locality::block_lru_column(map, trace, block_ids, capacities);
+      if constexpr (kHotChecksEnabled) {
+        const std::vector<SimStats> lanes = simulate_column<Policy>(
+            map, trace, capacities, block_ids, make_policy);
+        for (std::size_t i = 0; i < lanes.size(); ++i)
+          GC_CHECK(derived[i] == lanes[i],
+                   "stack-column derivation diverged from the lane engine");
+      }
+      return derived;
+    }
+  }
+  return simulate_column<Policy>(map, trace, capacities, block_ids,
+                                 make_policy);
 }
 
 }  // namespace
@@ -194,6 +237,126 @@ SimStats simulate_fast_spec(const std::string& spec, const Workload& workload,
                             std::size_t capacity) {
   GC_REQUIRE(workload.map != nullptr, "workload has no block map");
   return simulate_fast_spec(spec, *workload.map, workload.trace, capacity);
+}
+
+std::vector<SimStats> simulate_column_spec(
+    const std::string& spec, const BlockMap& map, const Trace& trace,
+    std::span<const BlockId> block_ids, std::span<const std::size_t> capacities,
+    bool allow_stack) {
+  const auto [name, params] = parse_spec(spec);
+  const auto col = [&]<typename Policy>(std::type_identity<Policy>,
+                                        auto&& make_policy) {
+    return run_column<Policy>(map, trace, block_ids, capacities, allow_stack,
+                              make_policy);
+  };
+  if (name == "item-lru")
+    return col(std::type_identity<ItemLru>{},
+               [](std::size_t) { return ItemLru(); });
+  if (name == "item-fifo")
+    return col(std::type_identity<ItemFifo>{},
+               [](std::size_t) { return ItemFifo(); });
+  if (name == "item-lfu")
+    return col(std::type_identity<ItemLfu>{},
+               [](std::size_t) { return ItemLfu(); });
+  if (name == "item-clock")
+    return col(std::type_identity<ItemClock>{},
+               [](std::size_t) { return ItemClock(); });
+  if (name == "item-random") {
+    const std::uint64_t seed = get_u64(params, "seed", 1);
+    return col(std::type_identity<ItemRandom>{},
+               [seed](std::size_t) { return ItemRandom(seed); });
+  }
+  if (name == "item-slru") {
+    const double p = get_f64(params, "p", 0.5);
+    return col(std::type_identity<ItemSlru>{},
+               [p](std::size_t) { return ItemSlru(p); });
+  }
+  if (name == "item-arc")
+    return col(std::type_identity<ItemArc>{},
+               [](std::size_t) { return ItemArc(); });
+  if (name == "footprint") {
+    const bool cold = get_u64(params, "cold_block", 1) != 0;
+    return col(std::type_identity<FootprintCache>{},
+               [cold](std::size_t) { return FootprintCache(cold); });
+  }
+  if (name == "block-lru")
+    return col(std::type_identity<BlockLru>{},
+               [](std::size_t) { return BlockLru(); });
+  if (name == "block-fifo")
+    return col(std::type_identity<BlockFifo>{},
+               [](std::size_t) { return BlockFifo(); });
+  // IBLP splits are capacity-dependent, so each lane resolves its own config.
+  if (name == "iblp")
+    return col(std::type_identity<Iblp>{}, [&p = params](std::size_t cap) {
+      return Iblp(iblp_config(p, cap));
+    });
+  if (name == "iblp-excl")
+    return col(std::type_identity<IblpExclusive>{},
+               [&p = params](std::size_t cap) {
+                 return IblpExclusive(iblp_config(p, cap));
+               });
+  if (name == "iblp-blockfirst")
+    return col(std::type_identity<IblpBlockFirst>{},
+               [&p = params](std::size_t cap) {
+                 return IblpBlockFirst(iblp_config(p, cap));
+               });
+  if (name == "gcm") {
+    const std::uint64_t seed = get_u64(params, "seed", 1);
+    const std::size_t sideload =
+        static_cast<std::size_t>(get_u64(params, "sideload", 0));
+    return col(std::type_identity<Gcm>{},
+               [seed, sideload](std::size_t) { return Gcm(seed, sideload); });
+  }
+  if (name == "marking-item") {
+    const std::uint64_t seed = get_u64(params, "seed", 1);
+    return col(std::type_identity<MarkingItem>{},
+               [seed](std::size_t) { return MarkingItem(seed); });
+  }
+  if (name == "marking-blockmark") {
+    const std::uint64_t seed = get_u64(params, "seed", 1);
+    return col(std::type_identity<MarkingBlockMark>{},
+               [seed](std::size_t) { return MarkingBlockMark(seed); });
+  }
+  if (name == "athreshold") {
+    const unsigned a = static_cast<unsigned>(get_u64(params, "a", 1));
+    return col(std::type_identity<AThreshold>{},
+               [a](std::size_t) { return AThreshold(a); });
+  }
+  if (name == "belady-item")
+    return col(std::type_identity<BeladyItem>{},
+               [](std::size_t) { return BeladyItem(); });
+  if (name == "belady-block")
+    return col(std::type_identity<BeladyBlock>{},
+               [](std::size_t) { return BeladyBlock(); });
+  if (name == "belady-greedy-gc")
+    return col(std::type_identity<BeladyGreedyGc>{},
+               [](std::size_t) { return BeladyGreedyGc(); });
+  GC_REQUIRE(false, "unknown policy spec: " + spec);
+  return {};  // unreachable
+}
+
+double estimated_sim_cost(const std::string& spec, std::uint64_t accesses) {
+  // Relative cost per access, item-lru = 1.0, calibrated from the
+  // GC_FAST_SIM throughputs in BENCH_throughput.json and BENCH_sweep.json
+  // (zipf workload); item-lfu reflects the O(1) frequency-bucket rewrite.
+  // A misestimate only shifts schedule order, never correctness.
+  static const std::map<std::string, double> kUnitCost = {
+      {"item-lru", 1.0},       {"item-fifo", 1.0},
+      {"item-lfu", 3.7},       {"item-clock", 1.8},
+      {"item-random", 1.1},    {"item-slru", 2.2},
+      {"item-arc", 2.0},       {"footprint", 17.0},
+      {"block-lru", 5.3},      {"block-fifo", 6.2},
+      {"iblp", 13.0},          {"iblp-excl", 9.6},
+      {"iblp-blockfirst", 14.5}, {"gcm", 6.2},
+      {"marking-item", 2.0},   {"marking-blockmark", 12.5},
+      {"athreshold", 9.2},     {"belady-item", 16.3},
+      {"belady-block", 20.0},  {"belady-greedy-gc", 23.5}};
+  const auto [name, params] = parse_spec(spec);
+  const auto it = kUnitCost.find(name);
+  // Unknown names get a middle-of-the-pack estimate: misscheduling one row
+  // costs a little balance, never correctness.
+  const double unit = it == kUnitCost.end() ? 8.0 : it->second;
+  return unit * static_cast<double>(accesses);
 }
 
 std::vector<std::string> known_policy_names() {

@@ -1,12 +1,18 @@
 // Item Cache running LFU with FIFO tie-breaking.
 //
-// Frequency-based eviction baseline; O(log k) per operation through an
-// ordered victim set. Frequencies persist while an item is resident and are
-// forgotten on eviction ("in-cache LFU").
+// Frequency-based eviction baseline; O(1) hot path through frequency
+// buckets. A doubly-linked list of pooled frequency nodes (one per
+// frequency that currently has residents, ascending) each carries an
+// intrusive item list kept in ascending insertion-sequence order, so the
+// victim — smallest (frequency, insertion sequence) — is always the front
+// item of the front node. Promotions into an existing bucket insert
+// tie-sorted via a backward scan from the bucket tail (bucket 1 appends:
+// ties are handed out monotonically). Frequencies persist while an item is
+// resident and are forgotten on eviction ("in-cache LFU"), exactly
+// matching the previous ordered-set implementation's victim order.
 #pragma once
 
 #include <cstdint>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -28,20 +34,34 @@ class ItemLfu final : public ReplacementPolicy {
   std::string name() const override { return "item-lfu"; }
 
  private:
-  struct Key {
-    std::uint64_t freq;
-    std::uint64_t tie;  // insertion sequence; older evicted first
-    ItemId item;
-    bool operator<(const Key& o) const {
-      if (freq != o.freq) return freq < o.freq;
-      if (tie != o.tie) return tie < o.tie;
-      return item < o.item;
-    }
+  static constexpr std::uint32_t kNoNode = static_cast<std::uint32_t>(-1);
+  static constexpr ItemId kNoItem = static_cast<ItemId>(-1);
+
+  /// One live frequency value: its residents as an intrusive list in
+  /// ascending tie (insertion-sequence) order, linked to the neighbouring
+  /// frequencies. Pooled in `nodes_` and recycled through `free_nodes_`;
+  /// at most one node per resident item exists at a time.
+  struct FreqNode {
+    std::uint64_t freq = 0;
+    ItemId head = kNoItem;
+    ItemId tail = kNoItem;
+    std::uint32_t prev = kNoNode;
+    std::uint32_t next = kNoNode;
   };
 
-  std::set<Key> order_;                // ascending: begin() = victim
-  std::vector<Key> key_of_;            // item -> its key (valid if resident)
-  std::vector<bool> resident_;
+  std::uint32_t alloc_node(std::uint64_t freq);
+  void detach_item(ItemId item);  // unlink; frees the bucket if emptied
+  void append_item(std::uint32_t node, ItemId item);
+  void insert_sorted(std::uint32_t node, ItemId item);
+
+  std::vector<FreqNode> nodes_;
+  std::vector<std::uint32_t> free_nodes_;
+  std::uint32_t head_node_ = kNoNode;  // lowest frequency; victim bucket
+
+  std::vector<ItemId> item_prev_;       // intrusive links within a bucket
+  std::vector<ItemId> item_next_;
+  std::vector<std::uint32_t> node_of_;  // kNoNode = not resident
+  std::vector<std::uint64_t> tie_of_;   // insertion sequence at last load
   std::uint64_t next_tie_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "sim/runner.hpp"
 
+#include <algorithm>
+
 #include "core/simulator.hpp"
 #include "policies/factory.hpp"
 #include "sim/thread_pool.hpp"
@@ -25,18 +27,56 @@ std::vector<SweepCell> run_sweep(const SweepSpec& spec) {
         cell.capacity = spec.capacities[c];
       }
 
+  ThreadPool pool(spec.threads);
+
   // Resolve each workload's per-access block ids once, up front: every
   // fast-path cell of the same workload shares one read-only vector, so no
-  // cell pays a virtual BlockMap::block_of call in its hot loop.
+  // cell pays a virtual BlockMap::block_of call in its hot loop. The
+  // resolution itself is memory-bound and per-workload independent, so it
+  // runs across the pool too.
   std::vector<std::vector<BlockId>> block_ids(nw);
   if (spec.use_fast_path)
-    for (std::size_t w = 0; w < nw; ++w) {
+    pool.parallel_for(nw, [&](std::size_t w) {
       const Workload& workload = (*spec.workloads)[w];
       GC_REQUIRE(workload.map != nullptr, "workload has no block map");
       block_ids[w] = compute_block_ids(*workload.map, workload.trace);
-    }
+    });
 
-  ThreadPool pool(spec.threads);
+  if (spec.use_fast_path && spec.batch_columns) {
+    // Row-batched mode: one task per (workload, policy) row, every capacity
+    // in a single trace pass. Per-policy costs skew ~70x, so rows go out
+    // longest-estimated-first (LPT): a slow row dispatched last would hold
+    // the whole sweep hostage on one thread. Cells are written into
+    // preassigned row-major slices, so output order is deterministic no
+    // matter how the schedule interleaves.
+    struct Row {
+      std::size_t w = 0;
+      std::size_t p = 0;
+      double cost = 0.0;
+    };
+    std::vector<Row> rows;
+    rows.reserve(nw * np);
+    for (std::size_t w = 0; w < nw; ++w)
+      for (std::size_t p = 0; p < np; ++p)
+        rows.push_back(
+            {w, p,
+             estimated_sim_cost(spec.policy_specs[p],
+                                (*spec.workloads)[w].trace.size())});
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Row& a, const Row& b) { return a.cost > b.cost; });
+    for (const Row& row : rows)
+      pool.submit([&spec, &cells, &block_ids, row, np, nc] {
+        const Workload& workload = (*spec.workloads)[row.w];
+        const std::vector<SimStats> column = simulate_column_spec(
+            spec.policy_specs[row.p], *workload.map, workload.trace,
+            block_ids[row.w], spec.capacities);
+        for (std::size_t c = 0; c < nc; ++c)
+          cells[(row.w * np + row.p) * nc + c].stats = column[c];
+      });
+    pool.wait();
+    return cells;
+  }
+
   pool.parallel_for(cells.size(), [&](std::size_t idx) {
     SweepCell& cell = cells[idx];
     const Workload& workload = (*spec.workloads)[cell.workload_index];

@@ -4,6 +4,17 @@
 // Policies are constructed fresh per cell from their factory spec, so cells
 // are fully independent and the sweep parallelizes trivially. Workloads are
 // shared read-only (BlockMap and Trace are immutable after construction).
+//
+// Two fast-path granularities:
+//   * batched (default): the unit of work is a whole (workload, policy)
+//     ROW — all capacities in one trace pass via simulate_column_spec, with
+//     stack policies collapsing further into a single stack-distance pass.
+//     Rows are scheduled longest-estimated-first (estimated_sim_cost; the
+//     factory throughputs skew ~70x across policies), so the slowest rows
+//     never start last and strand the pool.
+//   * per-cell (batch_columns = false, or the verifying engine): one task
+//     per grid cell, statically chunked.
+// Both produce bit-identical SimStats in identical row-major order.
 #pragma once
 
 #include <cstddef>
@@ -36,6 +47,11 @@ struct SweepSpec {
   /// the verifying engine — switch off to exercise the step-wise
   /// `Simulation` path instead (e.g. when debugging a new policy).
   bool use_fast_path = true;
+  /// Batch each (workload, policy) row's capacities into one trace pass and
+  /// schedule rows cost-aware (see file comment). Fast-path only; ignored
+  /// when use_fast_path is false. Off = per-cell static chunking, which is
+  /// what bench_sweep compares against.
+  bool batch_columns = true;
 };
 
 /// Runs the full cross product and returns cells in deterministic

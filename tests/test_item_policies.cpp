@@ -1,7 +1,9 @@
 // Unit tests for the Item Cache family: LRU, FIFO, LFU, CLOCK, Random, SLRU.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <unordered_set>
+#include <utility>
 
 #include "core/simulator.hpp"
 #include "policies/item_clock.hpp"
@@ -225,6 +227,82 @@ TEST(ItemLfu, FrequencyForgottenOnEviction) {
   // 0 builds freq 3, gets evicted (cap 1), comes back with freq 1.
   const SimStats s = simulate(*map, Trace({0, 0, 0, 1, 0, 1}), lfu, 1);
   EXPECT_EQ(s.misses, 4u);
+}
+
+TEST(ItemLfu, PromotionOrderPreservedWithinBucket) {
+  auto map = make_singleton_blocks(8);
+  ItemLfu lfu;
+  // 1 is promoted to freq 2 BEFORE 0 is, so 0 enters the freq-2 bucket
+  // second despite its older insertion tie. The bucket must keep tie
+  // order: 2's miss victimizes 0 (tie 0), not 1 — a naive
+  // arrival-order append would evict 1 and turn the final access into a
+  // fourth miss.
+  const SimStats s = simulate(*map, Trace({0, 1, 1, 0, 2, 1}), lfu, 2);
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.hits, 3u);
+}
+
+// Differential check of the bucket-list LFU against a transparent ordered-
+// set reference (the previous implementation's exact victim rule: smallest
+// (frequency, insertion-sequence) first) on random traces. Pins the victim
+// ORDER, which self-consistency between the two engines cannot.
+TEST(ItemLfu, MatchesOrderedSetReferenceOnRandomTraces) {
+  class SetLfu final : public ReplacementPolicy {
+   public:
+    void attach(const BlockMap& map, CacheContents& cache) override {
+      set_attachment(map, cache);
+      order_.clear();
+      key_of_.assign(map.num_items(), {});
+      resident_.assign(map.num_items(), false);
+      next_tie_ = 0;
+    }
+    void on_hit(ItemId item) override {
+      auto k = key_of_[item];
+      order_.erase(k);
+      ++k.first;
+      key_of_[item] = k;
+      order_.insert(k);
+    }
+    void on_miss(ItemId item) override {
+      if (cache().full()) {
+        const auto victim = *order_.begin();
+        order_.erase(order_.begin());
+        resident_[victim.second.second] = false;
+        cache().evict(victim.second.second);
+      }
+      cache().load(item);
+      const std::pair<std::uint64_t, std::pair<std::uint64_t, ItemId>> k{
+          1, {next_tie_++, item}};
+      key_of_[item] = k;
+      resident_[item] = true;
+      order_.insert(k);
+    }
+    void reset() override {}
+    std::string name() const override { return "set-lfu"; }
+
+   private:
+    std::set<std::pair<std::uint64_t, std::pair<std::uint64_t, ItemId>>>
+        order_;
+    std::vector<std::pair<std::uint64_t, std::pair<std::uint64_t, ItemId>>>
+        key_of_;
+    std::vector<bool> resident_;
+    std::uint64_t next_tie_ = 0;
+  };
+
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const Workload w = traces::zipf_blocks(16, 4, 3000, 0.8, 2, seed);
+    for (const std::size_t capacity : {std::size_t{5}, std::size_t{17}}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " capacity=" + std::to_string(capacity));
+      ItemLfu fast;
+      SetLfu reference;
+      const SimStats a = simulate(*w.map, w.trace, fast, capacity);
+      const SimStats b = simulate(*w.map, w.trace, reference, capacity);
+      EXPECT_EQ(a.misses, b.misses);
+      EXPECT_EQ(a.hits, b.hits);
+      EXPECT_EQ(a.evictions, b.evictions);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -225,6 +225,15 @@ int cmd_sweep(const Args& args) {
   spec.capacities = split_sizes(args.get("capacities"));
   spec.threads = args.get_u64("threads", 0);
   spec.use_fast_path = use_fast_mode(args);
+  // `--batch on` (default) runs whole capacity columns per trace pass with
+  // cost-aware row scheduling; `--batch off` forces the per-cell engine.
+  const std::string batch = args.get("batch", std::string("on"));
+  if (batch == "on" || batch == "off") {
+    spec.batch_columns = batch == "on";
+  } else {
+    std::cerr << "unknown --batch " << batch << " (on|off)\n";
+    std::exit(2);
+  }
   const auto cells = sim::run_sweep(spec);
 
   TextTable table({"workload", "policy", "capacity", "misses", "miss rate",
@@ -499,7 +508,7 @@ subcommands:
   sweep      policy x capacity grid, in parallel
              --workload FILE [--workload FILE]... --policies A,B,..
              --capacities N,M,.. [--threads T] [--csv FILE]
-             [--mode fast|verify]
+             [--mode fast|verify] [--batch on|off]
   profile    measure f(n)/g(n) locality profiles and power-law fits
              --workload FILE [--windows N1,N2,..]
   mrc        exact LRU miss-ratio curves (item and block granularity)
