@@ -49,9 +49,11 @@ double gc_lower_bound(double k, double h, double B) {
 }
 
 double gc_optimal_a(double k, double h, double B) {
-  // d(ratio)/da = 1 - B/(k-h+1): increasing in a iff k-h+1 > B.
+  // d(ratio)/da = 1 - B/(k-h+1): increasing in a iff k-h+1 > B. At the tie
+  // k-h+1 == B the derivative is 0 and both endpoints attain the bound; the
+  // documented convention resolves ties to a = 1.
   const double a_hi = std::min(B, h);
-  return (k - h + 1 > B) ? 1.0 : a_hi;
+  return (k - h + 1 >= B) ? 1.0 : a_hi;
 }
 
 }  // namespace gcaching::bounds

@@ -51,10 +51,12 @@ class CacheContents {
   }
 
   // ---- Read-only inspection (also the adversaries' view) -----------------
+  GC_HOT_REGION_BEGIN(cache_contents_residency)
   bool contains(ItemId item) const {
     GC_HOT_REQUIRE(item < flags_.size(), "item id out of range");
     return (raw(flags_[item]) & kPresent) != 0;
   }
+  GC_HOT_REGION_END(cache_contents_residency)
   std::size_t occupancy() const noexcept { return occupancy_; }
   std::size_t capacity() const noexcept { return capacity_; }
   bool full() const noexcept { return occupancy_ == capacity_; }
@@ -96,6 +98,9 @@ class CacheContents {
   std::size_t residents_of_block(BlockId block) const;
 
   // ---- Mutation API (simulator + policies) --------------------------------
+  // Every mutator below runs once (or more) per simulated access; only
+  // GC_HOT_* contracts are allowed in this region (enforced by gclint).
+  GC_HOT_REGION_BEGIN(cache_contents_mutators)
   /// Simulator: advance logical time; classify & record a hit on a resident
   /// item. Returns the hit kind per the paper's taxonomy.
   HitKind record_hit(ItemId item) {
@@ -187,6 +192,7 @@ class CacheContents {
     current_request_ = kInvalidItem;
     ++now_;
   }
+  GC_HOT_REGION_END(cache_contents_mutators)
 
   /// Drop everything and reset counters to the post-construction state.
   void reset();

@@ -72,6 +72,8 @@ SimStats simulate(const Workload& workload, ReplacementPolicy& policy,
 
 namespace detail {
 
+GC_HOT_REGION_BEGIN(fast_engine_per_access)
+
 // The verifying engine charges eviction stats per miss transaction, so
 // evictions a policy performs on *hits* (IBLP's item-layer reshuffling)
 // are excluded from SimStats. Policies that do that declare it with
@@ -144,6 +146,8 @@ inline void fast_finalize(const CacheContents& cache, SimStats& stats,
     stats.wasted_sideloads = cache.wasted_sideloads();
   }
 }
+
+GC_HOT_REGION_END(fast_engine_per_access)
 
 }  // namespace detail
 

@@ -110,8 +110,11 @@ void StackDistanceWalker::compact() {
   pos_ = m;
 }
 
+// Per-access entry point of the walker; compact() stays outside the region —
+// it runs once per `window_` accesses, so its cold contract is amortized.
+GC_HOT_REGION_BEGIN(stack_distance_walker_next)
 std::size_t StackDistanceWalker::next(std::uint32_t key) {
-  GC_REQUIRE(key < last_pos_.size(), "key out of range");
+  GC_HOT_REQUIRE(key < last_pos_.size(), "key out of range");
   if (pos_ >= window_) compact();
   ++pos_;
   ++count_;
@@ -127,6 +130,7 @@ std::size_t StackDistanceWalker::next(std::uint32_t key) {
   last_pos_[key] = static_cast<std::uint32_t>(pos_);
   return dist;
 }
+GC_HOT_REGION_END(stack_distance_walker_next)
 
 StackDistanceHistogram stack_distances(const std::vector<std::uint32_t>& keys,
                                        std::size_t key_universe) {

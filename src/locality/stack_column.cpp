@@ -17,7 +17,7 @@ std::vector<std::uint64_t> integrate(const std::vector<std::int64_t>& diff) {
   std::int64_t run = 0;
   for (std::size_t c = 0; c < diff.size(); ++c) {
     run += diff[c];
-    GC_CHECK(run >= 0, "interval accounting went negative");
+    GC_HOT_CHECK(run >= 0, "interval accounting went negative");
     out[c] = static_cast<std::uint64_t>(run);
   }
   return out;
@@ -85,6 +85,7 @@ std::vector<SimStats> block_lru_column(const BlockMap& map, const Trace& trace,
   std::vector<std::int64_t> wasted_diff(nb + 2, 0);
 
   const std::vector<ItemId>& accesses = trace.accesses();
+  GC_HOT_REGION_BEGIN(block_lru_column_pass)
   for (std::size_t t = 0; t < T; ++t) {
     const ItemId x = accesses[t];
     const BlockId b = block_ids[t];
@@ -108,7 +109,7 @@ std::vector<SimStats> block_lru_column(const BlockMap& map, const Trace& trace,
       const std::size_t w = std::min(d, pending[y]);
       if (w > 0) {
         ++wasted_diff[0];
-        GC_CHECK(w <= nb, "wasted interval exceeds the block universe");
+        GC_HOT_CHECK(w <= nb, "wasted interval exceeds the block universe");
         --wasted_diff[w];
       }
     }
@@ -117,6 +118,7 @@ std::vector<SimStats> block_lru_column(const BlockMap& map, const Trace& trace,
     pending[x] = 0;  // x is touched now, whatever happened before
     last_block_pos[b] = t + 1;
   }
+  GC_HOT_REGION_END(block_lru_column_pass)
 
   // Final-stack fixup: the simulator charges wasted sideloads at eviction.
   // A block at final stack position p is evicted after its last access at

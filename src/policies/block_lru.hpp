@@ -26,6 +26,7 @@ class BlockLru final : public ReplacementPolicy {
   /// the inclusion property, so capacity columns can collapse into one
   /// stack-distance pass (locality/stack_column.hpp) whenever the partition
   /// is uniform; the factory's column dispatcher keys off this trait.
+  // GCLINT-TRAIT-CHECKED-BY: run_column
   static constexpr bool kIsStackPolicy = true;
 
   void attach(const BlockMap& map, CacheContents& cache) override;

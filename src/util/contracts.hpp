@@ -76,6 +76,18 @@ inline constexpr bool kHotChecksEnabled = true;
                                         __LINE__, (msg));                  \
   } while (0)
 
+// ---- gclint hot-region markers ---------------------------------------------
+// GC_HOT_REGION_BEGIN / GC_HOT_REGION_END delimit per-access hot-loop code —
+// the regions `simulate_fast` / `simulate_column` execute once per access
+// (CacheContents mutators, fast_step, the stack-distance walker). They expand
+// to nothing; `tools/gclint` enforces that only GC_HOT_* contracts appear
+// between them, because a cold GC_REQUIRE/GC_ENSURE/GC_CHECK there would
+// silently reintroduce the per-access overhead GC_FAST_SIM exists to remove.
+// The label is free-form but must match between BEGIN and END; regions must
+// not nest. See docs/ANALYSIS.md.
+#define GC_HOT_REGION_BEGIN(label)
+#define GC_HOT_REGION_END(label)
+
 // Hot-path tier: identical to the cold-path macros by default; compiled to
 // nothing under GC_FAST_SIM. The disabled form keeps `cond` as an
 // unevaluated operand so variables referenced only by checks stay "used"

@@ -10,9 +10,12 @@
 
 namespace gcaching {
 
-/// ceil(a / b) for non-negative integers, without overflow for a + b <= max.
+/// ceil(a / b) for non-negative integers. Overflow-free for every input:
+/// the textbook (a + b - 1) / b wraps when a + b exceeds 2^64 (well-defined
+/// for unsigned, but silently wrong — flagged by clang-tidy/UBSan review).
 constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
-  return b == 0 ? 0 : (a + b - 1) / b;
+  if (b == 0) return 0;
+  return a == 0 ? 0 : (a - 1) / b + 1;
 }
 
 /// Integer power (small exponents).
@@ -69,6 +72,8 @@ inline std::uint64_t bisect_first_true(
     std::uint64_t lo, std::uint64_t hi,
     const std::function<bool(std::uint64_t)>& pred) {
   GC_REQUIRE(lo <= hi, "bisect_first_true requires lo <= hi");
+  GC_REQUIRE(hi < std::numeric_limits<std::uint64_t>::max(),
+             "hi + 1 must be representable (the not-found sentinel)");
   std::uint64_t ans = hi + 1;
   while (lo <= hi) {
     const std::uint64_t mid = lo + (hi - lo) / 2;

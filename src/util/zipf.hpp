@@ -40,9 +40,18 @@ class ZipfSampler {
     for (;;) {
       const double u = h_n_ + rng.uniform01() * (h_x1_ - h_n_);
       const double x = h_inverse(u);
-      std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
-      if (k < 1) k = 1;
-      if (k > n_) k = n_;
+      // Clamp in the double domain before converting: a double -> uint64
+      // cast of a negative, NaN, or out-of-range value is UB (UBSan
+      // float-cast-overflow). The !(>= 1.0) form also routes NaN to 1.
+      const double xr = x + 0.5;
+      std::uint64_t k;
+      if (!(xr >= 1.0)) {
+        k = 1;
+      } else if (xr >= static_cast<double>(n_)) {
+        k = n_;
+      } else {
+        k = static_cast<std::uint64_t>(xr);
+      }
       const double kd = static_cast<double>(k);
       if (kd - x <= s_ ||
           u >= h(kd + 0.5) - std::exp(-theta_ * std::log(kd))) {

@@ -163,5 +163,75 @@ TEST(SalientPoints, UnreachableTargetThrows) {
                ContractViolation);
 }
 
+// ---- Boundary-parameter regressions ----------------------------------------
+// Exact pinned values at the edges of the theorems' parameter domains
+// (B = k, h = k, a = 1, a = B = h). These are the geometries where an
+// off-by-one in a formula (k - h + 1 vs k - h, B - 1 vs B) changes the value
+// but every interior test above still passes; the expectations are
+// EXPECT_DOUBLE_EQ against hand-derived closed forms, so any drift fails.
+
+TEST(BoundaryRegression, Theorem2AtHEqualsK) {
+  // h = k (no augmentation): B (k - B + 1) / 1.
+  EXPECT_DOUBLE_EQ(item_cache_lower(8, 8, 4), 4.0 * 5.0);  // 20
+  EXPECT_DOUBLE_EQ(item_cache_lower(64, 64, 8), 8.0 * 57.0);  // 456
+}
+
+TEST(BoundaryRegression, Theorem2AtBEqualsK) {
+  // B = k (one block fills the cache): k (k - k + 1)/(k - h + 1)
+  // = k / (k - h + 1) — collapses to Sleator–Tarjan exactly.
+  EXPECT_DOUBLE_EQ(item_cache_lower(16, 4, 16), 16.0 / 13.0);
+  EXPECT_DOUBLE_EQ(item_cache_lower(16, 4, 16), sleator_tarjan_lower(16, 4));
+  // And with h = k too: the fully-degenerate corner pins at exactly k.
+  EXPECT_DOUBLE_EQ(item_cache_lower(16, 16, 16), 16.0);
+}
+
+TEST(BoundaryRegression, Theorem3AtHEqualsOneAndThreshold) {
+  // h = 1: denominator is k, ratio exactly 1 at every k, B.
+  EXPECT_DOUBLE_EQ(block_cache_lower(7, 1, 64), 1.0);
+  // Exactly at the unboundedness threshold k = B(h-1): still unbounded
+  // (denominator 0, not negative) — the <= vs < distinction.
+  EXPECT_EQ(block_cache_lower(64.0 * 31.0, 32, 64), kUnboundedRatio);
+  // One past it: k / 1 = k exactly.
+  EXPECT_DOUBLE_EQ(block_cache_lower(64.0 * 31.0 + 1.0, 32, 64),
+                   64.0 * 31.0 + 1.0);
+}
+
+TEST(BoundaryRegression, Theorem4AtAEqualsOne) {
+  // a = 1: (k - h + 1 + B (h - 1)) / (k - h + 1).
+  EXPECT_DOUBLE_EQ(athreshold_lower(8, 8, 4, 1), 29.0);      // (1 + 28)/1
+  EXPECT_DOUBLE_EQ(athreshold_lower(10, 6, 3, 1), 4.0);      // (5 + 15)/5
+  // B = 1 forces a = 1 and Theorem 4 collapses to Sleator–Tarjan.
+  EXPECT_DOUBLE_EQ(athreshold_lower(100, 40, 1, 1),
+                   sleator_tarjan_lower(100, 40));
+}
+
+TEST(BoundaryRegression, Theorem4AtAEqualsBEqualsH) {
+  // a = B = h: (B (k - h + 1) + B * 0)/(k - h + 1) = B exactly, which also
+  // equals Theorem 2 at that geometry.
+  EXPECT_DOUBLE_EQ(athreshold_lower(8, 4, 4, 4), 4.0);
+  EXPECT_DOUBLE_EQ(athreshold_lower(8, 4, 4, 4), item_cache_lower(8, 4, 4));
+}
+
+TEST(BoundaryRegression, GcLowerBoundAtTieGeometry) {
+  // k - h + 1 == B: d(ratio)/da == 0, both endpoints equal; the bound and
+  // the optimizer must agree (ties resolve to a = 1 by convention).
+  const double k = 19, h = 16, B = 4;  // k - h + 1 == 4 == B
+  EXPECT_DOUBLE_EQ(athreshold_lower(k, h, B, 1.0),
+                   athreshold_lower(k, h, B, B));
+  EXPECT_DOUBLE_EQ(gc_lower_bound(k, h, B), athreshold_lower(k, h, B, 1.0));
+  EXPECT_DOUBLE_EQ(gc_optimal_a(k, h, B), 1.0);
+}
+
+TEST(BoundaryRegression, DomainEdgesStillRejected) {
+  // The boundary values above are the *last* legal geometries; one step
+  // further must still throw, so the regressions cannot silently widen the
+  // domain.
+  EXPECT_THROW(item_cache_lower(8, 9, 4), ContractViolation);   // h > k
+  EXPECT_THROW(item_cache_lower(8, 4, 9), ContractViolation);   // B > k
+  EXPECT_THROW(athreshold_lower(8, 4, 4, 5), ContractViolation);  // a > B
+  EXPECT_THROW(athreshold_lower(8, 3, 4, 4), ContractViolation);  // h < a
+  EXPECT_THROW(athreshold_lower(8, 4, 4, 0), ContractViolation);  // a < 1
+}
+
 }  // namespace
 }  // namespace gcaching::bounds

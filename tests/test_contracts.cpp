@@ -1,0 +1,115 @@
+// Tier semantics of the contract system (src/util/contracts.hpp), beyond the
+// basic throw tests in test_util.cpp:
+//   * a violated cold contract throws ContractViolation carrying the failing
+//     expression, file:line, and the message;
+//   * an *uncaught* violation terminates the process with that context on
+//     stderr (death test) — the "long benchmark runs fail loudly" guarantee;
+//   * the hot tier (GC_HOT_*) provably compiles to zero evaluation under
+//     GC_FAST_SIM: a hot contract with a *false* condition is still a
+//     constant expression, which is only possible if the check contributes
+//     no code at all.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "util/contracts.hpp"
+
+namespace gcaching {
+namespace {
+
+int require_positive(int v) {
+  GC_REQUIRE(v > 0, "v must be positive");
+  return v;
+}
+
+constexpr int hot_checked_identity(int v) {
+  GC_HOT_CHECK(v >= 0, "hot tier: v must be non-negative");
+  return v;
+}
+
+// A satisfied hot contract is a constant expression in both configurations
+// (the failing branch is never evaluated).
+static_assert(hot_checked_identity(5) == 5);
+
+#if defined(GC_FAST_SIM)
+// The zero-code proof: with hot checks compiled out, even a *violated* hot
+// contract must be constant-evaluable. If GC_HOT_CHECK expanded to any
+// runtime test-and-throw, this line would not compile.
+static_assert(hot_checked_identity(-1) == -1,
+              "GC_HOT_CHECK must compile to nothing under GC_FAST_SIM");
+static_assert(!kHotChecksEnabled);
+#else
+static_assert(kHotChecksEnabled);
+
+TEST(ContractTiers, HotTierIsLiveInVerifyingBuild) {
+  EXPECT_THROW(hot_checked_identity(-1), ContractViolation);
+  EXPECT_EQ(hot_checked_identity(7), 7);
+}
+#endif
+
+TEST(ContractTiers, ViolationCarriesExpressionFileAndLine) {
+  const int expected_line = __LINE__ + 3;  // the GC_REQUIRE below
+  std::string what;
+  try {
+    GC_REQUIRE(2 + 2 == 5, "arithmetic is broken");
+    FAIL() << "GC_REQUIRE did not throw";
+  } catch (const ContractViolation& e) {
+    what = e.what();
+  }
+  EXPECT_NE(what.find("precondition"), std::string::npos) << what;
+  EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+  EXPECT_NE(what.find("test_contracts.cpp:" + std::to_string(expected_line)),
+            std::string::npos)
+      << what;
+  EXPECT_NE(what.find("arithmetic is broken"), std::string::npos) << what;
+}
+
+TEST(ContractTiers, EnsureAndCheckReportTheirKind) {
+  try {
+    GC_ENSURE(false, "");
+    FAIL();
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("postcondition"), std::string::npos);
+  }
+  try {
+    GC_CHECK(false, "");
+    FAIL();
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+TEST(ContractTiers, PassingContractsEvaluateConditionOnce) {
+  int evals = 0;
+  const auto count = [&evals] {
+    ++evals;
+    return true;
+  };
+  GC_REQUIRE(count(), "");
+  GC_ENSURE(count(), "");
+  GC_CHECK(count(), "");
+  EXPECT_EQ(evals, 3);
+}
+
+TEST(ContractTiersDeathTest, UncaughtViolationAbortsWithContext) {
+  // threadsafe style re-execs the test binary for the death child, which is
+  // the only style that is safe once the suite has spawned threads (and the
+  // one the sanitizer presets run under).
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // A violation escaping a raw thread is the production failure mode for
+  // any code path not funneled through ThreadPool's exception capture: the
+  // exception reaches std::terminate while still active, and libstdc++'s
+  // verbose handler prints what() — so the crash names the throw site
+  // file:line. (Escaping a plain death-test statement would not do: gtest's
+  // child intercepts std::exception before it can terminate the process.)
+  EXPECT_DEATH(
+      {
+        std::thread t([] { require_positive(-3); });
+        t.join();
+      },
+      "test_contracts\\.cpp:[0-9]+");
+}
+
+}  // namespace
+}  // namespace gcaching

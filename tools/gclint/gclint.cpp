@@ -1,0 +1,561 @@
+#include "gclint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace gclint {
+
+namespace {
+
+// ---- Source preprocessing ---------------------------------------------------
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Replaces comment bodies and string/char-literal contents with spaces,
+/// preserving every newline (so line numbers survive) and the literals'
+/// delimiters. Rules match on the stripped text, which keeps prose, docs, and
+/// test fixtures embedded in string literals from tripping them. Raw string
+/// literals (`R"delim(...)delim"`, the form test fixtures use) are blanked
+/// wholesale; encoding-prefixed raw strings (u8R"...") are not recognized —
+/// none appear in this codebase.
+std::string strip_comments_and_strings(const std::string& in) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  std::string out;
+  out.reserve(in.size());
+  State state = State::kCode;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == '"' && i > 0 && in[i - 1] == 'R' &&
+                   (i < 2 || !is_ident_char(in[i - 2]))) {
+          // Raw string literal: scan the delimiter, blank the body up to and
+          // including the closing )delim" (newlines preserved).
+          out += c;
+          std::size_t j = i + 1;
+          std::string delim;
+          while (j < in.size() && in[j] != '(') delim += in[j++];
+          const std::string closer = ")" + delim + "\"";
+          const std::size_t close = in.find(closer, j);
+          const std::size_t stop =
+              close == std::string::npos ? in.size() : close + closer.size();
+          for (std::size_t k = i + 1; k < stop; ++k)
+            out += in[k] == '\n' ? '\n' : ' ';
+          i = stop == 0 ? i : stop - 1;
+        } else if (c == '"') {
+          state = State::kString;
+          out += c;
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += c;
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\' && next != '\0') {
+          out += "  ";
+          ++i;
+        } else if (c == quote) {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string::size_type start = 0;
+  while (start <= text.size()) {
+    const auto nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// True when `token` occurs in `line` as a whole identifier (not as a
+/// substring of a longer identifier).
+bool has_token(const std::string& line, const std::string& token) {
+  std::string::size_type pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+/// `token` as an identifier immediately followed by '(' (a call or a
+/// function definition/declaration), e.g. has_call("GC_REQUIRE", ...).
+bool has_call(const std::string& line, const std::string& token) {
+  std::string::size_type pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end < line.size() && line[end] == '(';
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+std::string trimmed(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+// ---- Path classification ----------------------------------------------------
+
+bool path_has_prefix(const std::string& path, const std::string& prefix) {
+  // Repo-relative match: "src/..." or ".../<anything>/src/...".
+  if (path.rfind(prefix, 0) == 0) return true;
+  return path.find("/" + prefix) != std::string::npos;
+}
+
+bool is_library_file(const std::string& path) {
+  return path_has_prefix(path, "src/");
+}
+
+bool is_test_file(const std::string& path) {
+  return path_has_prefix(path, "tests/");
+}
+
+bool is_policies_header(const std::string& path) {
+  return path_has_prefix(path, "src/policies/") && path.ends_with(".hpp");
+}
+
+bool ends_with_path(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// ---- Per-file preprocessed view --------------------------------------------
+
+struct FileView {
+  const SourceFile* file = nullptr;
+  std::vector<std::string> raw;
+  std::vector<std::string> stripped;
+};
+
+/// A finding on line `idx` (0-based) is suppressed by a
+/// `GCLINT-ALLOW(rule)` annotation on the same or the preceding raw line.
+bool suppressed(const FileView& v, std::size_t idx, const std::string& rule) {
+  const std::string needle = "GCLINT-ALLOW(" + rule + ")";
+  if (v.raw[idx].find(needle) != std::string::npos) return true;
+  return idx > 0 && v.raw[idx - 1].find(needle) != std::string::npos;
+}
+
+void add(std::vector<Finding>& out, const FileView& v, std::size_t idx,
+         const std::string& rule, const std::string& message) {
+  if (suppressed(v, idx, rule)) return;
+  out.push_back({v.file->path, idx + 1, rule, message});
+}
+
+// ---- Rule: hot regions ------------------------------------------------------
+
+void check_hot_regions(const FileView& v, std::vector<Finding>& out) {
+  constexpr const char* kBalance = "hot-region-balance";
+  constexpr const char* kCold = "hot-region-cold-contract";
+  static const std::vector<std::string> kColdMacros = {
+      "GC_REQUIRE", "GC_ENSURE", "GC_CHECK"};
+  std::optional<std::string> open_label;
+  std::size_t open_line = 0;
+  const std::regex marker_re(R"((GC_HOT_REGION_BEGIN|GC_HOT_REGION_END)\s*\(\s*([A-Za-z_]\w*)\s*\))");
+  for (std::size_t i = 0; i < v.stripped.size(); ++i) {
+    const std::string& line = v.stripped[i];
+    if (trimmed(line).rfind('#', 0) == 0) continue;  // the macro definitions
+    std::smatch m;
+    if (std::regex_search(line, m, marker_re)) {
+      const bool begin = m[1] == "GC_HOT_REGION_BEGIN";
+      const std::string label = m[2];
+      if (begin) {
+        if (open_label) {
+          add(out, v, i, kBalance,
+              "GC_HOT_REGION_BEGIN(" + label + ") while region '" +
+                  *open_label + "' (line " + std::to_string(open_line + 1) +
+                  ") is still open — regions must not nest");
+        }
+        open_label = label;
+        open_line = i;
+      } else {
+        if (!open_label) {
+          add(out, v, i, kBalance,
+              "GC_HOT_REGION_END(" + label + ") without a matching BEGIN");
+        } else if (*open_label != label) {
+          add(out, v, i, kBalance,
+              "GC_HOT_REGION_END(" + label + ") does not match open region '" +
+                  *open_label + "'");
+        }
+        open_label.reset();
+      }
+      continue;
+    }
+    if (!open_label) continue;
+    for (const std::string& macro : kColdMacros) {
+      if (has_call(line, macro)) {
+        add(out, v, i, kCold,
+            macro + " inside hot region '" + *open_label +
+                "' — use the GC_HOT_* tier (compiled out under GC_FAST_SIM) " +
+                "or move the check out of the per-access path");
+      }
+    }
+  }
+  if (open_label) {
+    add(out, v, open_line, kBalance,
+        "GC_HOT_REGION_BEGIN(" + *open_label + ") never closed");
+  }
+}
+
+// ---- Rule: RNG discipline / no-cout ----------------------------------------
+
+void check_library_hygiene(const FileView& v, std::vector<Finding>& out) {
+  const std::string& path = v.file->path;
+  if (!is_library_file(path)) return;
+  const bool is_rng_home = ends_with_path(path, "src/util/rng.hpp");
+  static const std::vector<std::string> kRngTokens = {
+      "rand",          "srand",         "drand48",
+      "random_device", "mt19937",       "mt19937_64",
+      "minstd_rand",   "default_random_engine"};
+  for (std::size_t i = 0; i < v.stripped.size(); ++i) {
+    const std::string& line = v.stripped[i];
+    if (!is_rng_home) {
+      for (const std::string& tok : kRngTokens) {
+        if (has_token(line, tok)) {
+          add(out, v, i, "rng-discipline",
+              "'" + tok + "' outside util/rng.hpp — all randomness must flow " +
+                  "through the seeded SplitMix64 (determinism across thread " +
+                  "schedules is a hard requirement)");
+        }
+      }
+    }
+    if (line.find("std::cout") != std::string::npos ||
+        has_call(line, "printf")) {
+      add(out, v, i, "no-cout",
+          "terminal output in library code — return data or throw; only "
+          "tools/ and bench/ own stdout");
+    }
+  }
+}
+
+// ---- Rule: trait audit ------------------------------------------------------
+
+struct TraitDecl {
+  const FileView* view = nullptr;
+  std::size_t line = 0;  // 0-based
+  std::string trait;
+  std::string class_name;
+  std::string checked_by;  // empty when the annotation is missing
+};
+
+std::vector<TraitDecl> collect_trait_decls(const std::vector<FileView>& views) {
+  std::vector<TraitDecl> decls;
+  const std::regex trait_re(
+      R"(static\s+constexpr\s+bool\s+(kRequestedLoadsOnly|kEvictsOutsideMiss|kIsStackPolicy)\s*=\s*true)");
+  const std::regex class_re(R"(\bclass\s+([A-Za-z_]\w*))");
+  const std::regex checked_re(
+      R"(GCLINT-TRAIT-CHECKED-BY:\s*([A-Za-z_][A-Za-z0-9_:]*))");
+  for (const FileView& v : views) {
+    if (!is_policies_header(v.file->path)) continue;
+    for (std::size_t i = 0; i < v.stripped.size(); ++i) {
+      std::smatch m;
+      if (!std::regex_search(v.stripped[i], m, trait_re)) continue;
+      TraitDecl d;
+      d.view = &v;
+      d.line = i;
+      d.trait = m[1];
+      for (std::size_t j = i; j-- > 0;) {
+        std::smatch cm;
+        if (std::regex_search(v.stripped[j], cm, class_re)) {
+          d.class_name = cm[1];
+          break;
+        }
+      }
+      const std::size_t lo = i >= 3 ? i - 3 : 0;
+      for (std::size_t j = lo; j <= i; ++j) {
+        std::smatch am;
+        if (std::regex_search(v.raw[j], am, checked_re)) {
+          std::string fn = am[1];
+          const auto sep = fn.rfind("::");
+          d.checked_by = sep == std::string::npos ? fn : fn.substr(sep + 2);
+        }
+      }
+      decls.push_back(std::move(d));
+    }
+  }
+  return decls;
+}
+
+/// True when some library file defines/uses `fn(` with a contract check in
+/// the following `window` stripped lines — the annotation's "checked by"
+/// claim is then anchored to real enforcement code.
+bool function_has_contract(const std::vector<FileView>& views,
+                           const std::string& fn, std::size_t window = 40) {
+  static const std::vector<std::string> kAnyContract = {
+      "GC_HOT_REQUIRE", "GC_HOT_ENSURE", "GC_HOT_CHECK",
+      "GC_REQUIRE",     "GC_ENSURE",     "GC_CHECK"};
+  for (const FileView& v : views) {
+    if (!is_library_file(v.file->path)) continue;
+    for (std::size_t i = 0; i < v.stripped.size(); ++i) {
+      if (!has_call(v.stripped[i], fn)) continue;
+      const std::size_t hi = std::min(v.stripped.size(), i + window);
+      for (std::size_t j = i; j < hi; ++j)
+        for (const std::string& c : kAnyContract)
+          if (has_call(v.stripped[j], c)) return true;
+    }
+  }
+  return false;
+}
+
+void check_traits(const std::vector<FileView>& views,
+                  std::vector<Finding>& out) {
+  constexpr const char* kRule = "trait-audit";
+  const FileView* factory = nullptr;
+  for (const FileView& v : views)
+    if (ends_with_path(v.file->path, "src/policies/factory.cpp")) factory = &v;
+  const std::vector<TraitDecl> decls = collect_trait_decls(views);
+  for (const TraitDecl& d : decls) {
+    const FileView& v = *d.view;
+    if (d.class_name.empty()) {
+      add(out, v, d.line, kRule,
+          "trait " + d.trait + " declared outside a recognizable class");
+      continue;
+    }
+    const std::string who = d.class_name + "::" + d.trait;
+    if (d.checked_by.empty()) {
+      add(out, v, d.line, kRule,
+          who + " has no GCLINT-TRAIT-CHECKED-BY annotation — name the "
+                "function whose contract check enforces the claim");
+    } else if (!function_has_contract(views, d.checked_by)) {
+      add(out, v, d.line, kRule,
+          who + " claims to be checked by '" + d.checked_by +
+              "', but no library function of that name contains a GC_HOT_*/"
+              "GC_* contract check");
+    }
+    if (factory == nullptr) {
+      add(out, v, d.line, kRule,
+          who + ": src/policies/factory.cpp not in the scanned file set, "
+                "cannot verify factory registration");
+    } else {
+      bool in_factory = false;
+      for (const std::string& line : factory->stripped)
+        if (has_token(line, d.class_name)) {
+          in_factory = true;
+          break;
+        }
+      if (!in_factory)
+        add(out, v, d.line, kRule,
+            who + ": class is not registered in policies/factory.cpp — "
+                  "opt-in traits are only exercised through the factory's "
+                  "devirtualized engines");
+    }
+  }
+}
+
+// ---- Rule: factory registration --------------------------------------------
+
+/// Extracts the `name == "spec"` comparisons between two anchor lines of the
+/// factory (raw text: the spec names live inside string literals).
+std::set<std::string> specs_between(const FileView& v, std::size_t lo,
+                                    std::size_t hi) {
+  static const std::regex spec_re(R"(==\s*"([^"]+)\")");
+  std::set<std::string> specs;
+  for (std::size_t i = lo; i < std::min(hi, v.raw.size()); ++i) {
+    auto begin =
+        std::sregex_iterator(v.raw[i].begin(), v.raw[i].end(), spec_re);
+    for (auto it = begin; it != std::sregex_iterator(); ++it)
+      specs.insert((*it)[1]);
+  }
+  return specs;
+}
+
+std::optional<std::size_t> first_line_with(const FileView& v,
+                                           const std::string& needle,
+                                           std::size_t from = 0) {
+  for (std::size_t i = from; i < v.stripped.size(); ++i)
+    if (v.stripped[i].find(needle) != std::string::npos) return i;
+  return std::nullopt;
+}
+
+void report_spec_diff(const FileView& v, std::size_t anchor,
+                      const std::set<std::string>& expected,
+                      const std::set<std::string>& actual,
+                      const std::string& expected_name,
+                      const std::string& actual_name,
+                      std::vector<Finding>& out) {
+  for (const std::string& spec : expected)
+    if (actual.find(spec) == actual.end())
+      add(out, v, anchor, "factory-registration",
+          "policy spec \"" + spec + "\" is handled by " + expected_name +
+              " but missing from " + actual_name +
+              " — every spec table of the factory must agree");
+}
+
+void check_factory(const std::vector<FileView>& views,
+                   std::vector<Finding>& out) {
+  constexpr const char* kRule = "factory-registration";
+  const FileView* factory = nullptr;
+  for (const FileView& v : views)
+    if (ends_with_path(v.file->path, "src/policies/factory.cpp")) factory = &v;
+  if (factory == nullptr) return;  // audited by check_traits when traits exist
+  const FileView& v = *factory;
+
+  const auto a_make = first_line_with(v, "make_policy(const std::string&");
+  const auto a_fast =
+      first_line_with(v, "simulate_fast_spec(", a_make.value_or(0));
+  const auto a_col =
+      first_line_with(v, "simulate_column_spec(", a_fast.value_or(0));
+  const auto a_cost =
+      first_line_with(v, "estimated_sim_cost(", a_col.value_or(0));
+  const auto a_known =
+      first_line_with(v, "known_policy_names()", a_col.value_or(0));
+  if (!a_make || !a_fast || !a_col || !a_known) {
+    add(out, v, 0, kRule,
+        "could not locate the factory's spec tables (make_policy / "
+        "simulate_fast_spec / simulate_column_spec / known_policy_names) — "
+        "update gclint's anchors if the factory was restructured");
+    return;
+  }
+
+  const std::set<std::string> make_specs = specs_between(v, *a_make, *a_fast);
+  const std::set<std::string> fast_specs = specs_between(v, *a_fast, *a_col);
+  const std::set<std::string> col_specs =
+      specs_between(v, *a_col, a_cost.value_or(*a_known));
+  // known_policy_names body: every quoted string until the closing brace of
+  // the function (first line that is exactly "}").
+  std::set<std::string> known_specs;
+  {
+    static const std::regex str_re(R"("([^"]+)\")");
+    for (std::size_t i = *a_known; i < v.raw.size(); ++i) {
+      auto begin =
+          std::sregex_iterator(v.raw[i].begin(), v.raw[i].end(), str_re);
+      for (auto it = begin; it != std::sregex_iterator(); ++it)
+        known_specs.insert((*it)[1]);
+      if (trimmed(v.stripped[i]) == "}") break;
+    }
+  }
+
+  report_spec_diff(v, *a_make, make_specs, fast_specs, "make_policy",
+                   "simulate_fast_spec", out);
+  report_spec_diff(v, *a_make, make_specs, col_specs, "make_policy",
+                   "simulate_column_spec", out);
+  report_spec_diff(v, *a_make, make_specs, known_specs, "make_policy",
+                   "known_policy_names", out);
+  report_spec_diff(v, *a_known, known_specs, make_specs, "known_policy_names",
+                   "make_policy", out);
+
+  // The differential suites must enumerate the factory rather than hard-code
+  // a spec list that silently goes stale.
+  bool diff_test_enumerates = false;
+  bool saw_diff_test = false;
+  for (const FileView& t : views) {
+    if (!is_test_file(t.file->path)) continue;
+    if (t.file->path.find("fast_sim") == std::string::npos &&
+        t.file->path.find("sweep_batched") == std::string::npos)
+      continue;
+    saw_diff_test = true;
+    for (const std::string& line : t.stripped)
+      if (has_token(line, "known_policy_names")) {
+        diff_test_enumerates = true;
+        break;
+      }
+  }
+  if (saw_diff_test && !diff_test_enumerates)
+    add(out, v, *a_known, kRule,
+        "no differential test (tests/*fast_sim*, tests/*sweep_batched*) "
+        "enumerates known_policy_names() — new factory policies would not be "
+        "differentially tested");
+}
+
+}  // namespace
+
+std::vector<Finding> lint(const std::vector<SourceFile>& files) {
+  std::vector<FileView> views;
+  views.reserve(files.size());
+  for (const SourceFile& f : files) {
+    FileView v;
+    v.file = &f;
+    v.raw = split_lines(f.content);
+    v.stripped = split_lines(strip_comments_and_strings(f.content));
+    views.push_back(std::move(v));
+  }
+  std::vector<Finding> out;
+  for (const FileView& v : views) {
+    check_hot_regions(v, out);
+    check_library_hygiene(v, out);
+  }
+  check_traits(views, out);
+  check_factory(views, out);
+  return out;
+}
+
+std::vector<Finding> check_build_coverage(const std::vector<SourceFile>& files,
+                                          const std::string& compile_commands) {
+  std::vector<Finding> out;
+  for (const SourceFile& f : files) {
+    if (!is_library_file(f.path) || !f.path.ends_with(".cpp")) continue;
+    if (compile_commands.find(f.path) == std::string::npos)
+      out.push_back({f.path, 1, "build-coverage",
+                     "translation unit does not appear in "
+                     "compile_commands.json — files outside the build escape "
+                     "the sanitizers and clang-tidy"});
+  }
+  return out;
+}
+
+std::string format(const Finding& f) {
+  std::ostringstream os;
+  os << f.path << ':' << f.line << ": [" << f.rule << "] " << f.message;
+  return os.str();
+}
+
+}  // namespace gclint

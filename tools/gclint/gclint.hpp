@@ -1,0 +1,83 @@
+// gclint — the repo-specific contract-and-trait auditor.
+//
+// The compiler and the sanitizers enforce the language; gclint enforces the
+// *conventions* PRs 1–2 introduced and that nothing else machine-checks:
+//
+//   hot-region-cold-contract  No cold-tier GC_REQUIRE / GC_ENSURE / GC_CHECK
+//                             inside a GC_HOT_REGION_BEGIN/END region (the
+//                             per-access code simulate_fast / simulate_column
+//                             execute). A cold contract there silently
+//                             reintroduces the per-access overhead that the
+//                             GC_FAST_SIM configuration exists to remove.
+//   hot-region-balance        BEGIN/END markers must pair, labels must match,
+//                             regions must not nest and must close by EOF.
+//   trait-audit               Every opt-in policy trait declaration
+//                             (kRequestedLoadsOnly, kEvictsOutsideMiss,
+//                             kIsStackPolicy) must carry a
+//                             `// GCLINT-TRAIT-CHECKED-BY: <function>`
+//                             annotation naming the function that contract-
+//                             checks the claim; gclint verifies that function
+//                             exists and actually contains a contract check,
+//                             and that the declaring class is registered in
+//                             policies/factory.cpp.
+//   factory-registration      The factory's four spec tables (make_policy,
+//                             simulate_fast_spec, simulate_column_spec,
+//                             known_policy_names) must agree — adding a
+//                             policy to one but not the others otherwise
+//                             only fails at runtime. The differential tests
+//                             must enumerate the factory (known_policy_names)
+//                             so every registered spec is diff-tested.
+//   rng-discipline            No rand()/srand()/std::random_device/
+//                             std::mt19937/... outside util/rng.hpp —
+//                             determinism given a seed is a hard requirement
+//                             (parallel sweeps must be schedule-independent).
+//   no-cout                   No std::cout / printf in library code (src/);
+//                             libraries report through return values and
+//                             exceptions, tools own the terminal.
+//   build-coverage            Every src/**/*.cpp appears in
+//                             compile_commands.json (a file outside the build
+//                             is a file outside the sanitizers and clang-tidy).
+//
+// Matching runs on comment- and string-stripped source, so prose and test
+// fixtures cannot trip the rules; the GCLINT-* annotations themselves live in
+// comments and are read from the raw text. A finding on a specific line can
+// be suppressed with `// GCLINT-ALLOW(rule-name): reason` on the same or the
+// preceding line. See docs/ANALYSIS.md for the full policy.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gclint {
+
+/// One input file. `path` should be repo-relative with forward slashes
+/// (classification keys off "src/", "src/policies/", "tests/" segments).
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// One rule violation.
+struct Finding {
+  std::string path;
+  std::size_t line = 0;  ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Runs every content rule over `files` (pass the whole tree at once: the
+/// trait audit and factory cross-checks are whole-program). Deterministic
+/// order: files in input order, lines ascending.
+std::vector<Finding> lint(const std::vector<SourceFile>& files);
+
+/// The build-coverage rule: every library translation unit must appear in the
+/// compile database. `compile_commands` is the raw JSON text.
+std::vector<Finding> check_build_coverage(const std::vector<SourceFile>& files,
+                                          const std::string& compile_commands);
+
+/// "path:line: [rule] message" — the single canonical rendering, used by the
+/// CLI and asserted on by tests.
+std::string format(const Finding& f);
+
+}  // namespace gclint

@@ -1,0 +1,100 @@
+// gclint CLI — scans a repository checkout and reports convention
+// violations (see gclint.hpp for the rule catalogue). Exit codes:
+//   0  clean
+//   1  violations found
+//   2  usage / IO error
+//
+// Usage:
+//   gclint [repo-root] [--compile-commands <build>/compile_commands.json]
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gclint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+bool wanted_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string compile_commands_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--compile-commands") {
+      if (i + 1 >= argc) {
+        std::cerr << "gclint: --compile-commands needs a path\n";
+        return 2;
+      }
+      compile_commands_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: gclint [repo-root] "
+                   "[--compile-commands <path>]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "gclint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      root = arg;
+    }
+  }
+
+  const fs::path base(root);
+  if (!fs::exists(base / "src")) {
+    std::cerr << "gclint: " << root << " does not look like the repo root "
+              << "(no src/ directory)\n";
+    return 2;
+  }
+
+  std::vector<gclint::SourceFile> files;
+  std::vector<fs::path> paths;
+  for (const char* dir : {"src", "tests"}) {
+    const fs::path d = base / dir;
+    if (!fs::exists(d)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(d))
+      if (entry.is_regular_file() && wanted_extension(entry.path()))
+        paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  files.reserve(paths.size());
+  for (const fs::path& p : paths)
+    files.push_back({fs::relative(p, base).generic_string(), read_file(p)});
+
+  std::vector<gclint::Finding> findings = gclint::lint(files);
+  if (!compile_commands_path.empty()) {
+    const std::string db = read_file(compile_commands_path);
+    if (db.empty()) {
+      std::cerr << "gclint: cannot read " << compile_commands_path << "\n";
+      return 2;
+    }
+    const auto cov = gclint::check_build_coverage(files, db);
+    findings.insert(findings.end(), cov.begin(), cov.end());
+  }
+
+  for (const auto& f : findings) std::cout << gclint::format(f) << "\n";
+  if (findings.empty()) {
+    std::cout << "gclint: " << files.size() << " files scanned, 0 violations\n";
+    return 0;
+  }
+  std::cout << "gclint: " << findings.size() << " violation(s) in "
+            << files.size() << " files\n";
+  return 1;
+}
