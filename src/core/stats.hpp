@@ -23,27 +23,24 @@ struct SimStats {
   std::uint64_t evictions = 0;
   std::uint64_t wasted_sideloads = 0;
 
-  double miss_rate() const {
-    return accesses == 0 ? 0.0
-                         : static_cast<double>(misses) /
-                               static_cast<double>(accesses);
+  /// Every ratio helper shares one zero-denominator convention: an empty
+  /// denominator yields 0.0 (never NaN/inf), so "no hits yet" and "no
+  /// spatial hits among them" read the same — pinned by tests/test_stats.cpp.
+  static double ratio(std::uint64_t num, std::uint64_t den) {
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) / static_cast<double>(den);
   }
-  double hit_rate() const {
-    return accesses == 0 ? 0.0
-                         : static_cast<double>(hits) /
-                               static_cast<double>(accesses);
-  }
+
+  double miss_rate() const { return ratio(misses, accesses); }
+  double hit_rate() const { return ratio(hits, accesses); }
   /// Fraction of hits attributable to spatial locality.
-  double spatial_hit_share() const {
-    return hits == 0 ? 0.0
-                     : static_cast<double>(spatial_hits) /
-                           static_cast<double>(hits);
-  }
+  double spatial_hit_share() const { return ratio(spatial_hits, hits); }
   /// Average items loaded per miss (1 for an Item Cache, up to B).
-  double loads_per_miss() const {
-    return misses == 0 ? 0.0
-                       : static_cast<double>(items_loaded) /
-                             static_cast<double>(misses);
+  double loads_per_miss() const { return ratio(items_loaded, misses); }
+  /// Fraction of side-loaded items evicted untouched — the pure-pollution
+  /// share of the speculative traffic (Section 4.2's fragility measure).
+  double wasted_sideload_share() const {
+    return ratio(wasted_sideloads, sideloads);
   }
 
   /// Bit-identity across engines (fast vs verifying) is a hard guarantee;
@@ -61,6 +58,26 @@ struct SimStats {
     evictions += o.evictions;
     wasted_sideloads += o.wasted_sideloads;
     return *this;
+  }
+
+  /// Counter deltas between two snapshots of the same run (every counter is
+  /// monotonic, so `later - earlier` never wraps). Header-inline on purpose:
+  /// gcobs windows stats with this and must not need a gc_core link.
+  SimStats& operator-=(const SimStats& o) {
+    accesses -= o.accesses;
+    hits -= o.hits;
+    misses -= o.misses;
+    temporal_hits -= o.temporal_hits;
+    spatial_hits -= o.spatial_hits;
+    items_loaded -= o.items_loaded;
+    sideloads -= o.sideloads;
+    evictions -= o.evictions;
+    wasted_sideloads -= o.wasted_sideloads;
+    return *this;
+  }
+  friend SimStats operator-(SimStats a, const SimStats& b) {
+    a -= b;
+    return a;
   }
 
   std::string summary() const;

@@ -1,0 +1,40 @@
+#include "obs/registry.hpp"
+
+#include <fstream>
+
+#include "util/contracts.hpp"
+#include "util/csv.hpp"
+
+namespace gcaching::obs {
+
+void CounterRegistry::add(const std::string& name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+std::uint64_t CounterRegistry::value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {counters_.begin(), counters_.end()};
+}
+
+void CounterRegistry::write_csv(const std::string& path) const {
+  CsvWriter csv(path, {"counter", "value"});
+  for (const auto& [name, value] : snapshot())
+    csv.add_row({name, std::to_string(value)});
+}
+
+void CounterRegistry::write_jsonl(const std::string& path) const {
+  std::ofstream out(path);
+  GC_REQUIRE(out.good(), "cannot open " + path + " for writing");
+  for (const auto& [name, value] : snapshot())
+    out << "{\"counter\": \"" << name << "\", \"value\": " << value << "}\n";
+}
+
+}  // namespace gcaching::obs

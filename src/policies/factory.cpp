@@ -7,6 +7,7 @@
 
 #include "core/simulator.hpp"
 #include "locality/stack_column.hpp"
+#include "obs/obs.hpp"
 #include "policies/athreshold.hpp"
 #include "policies/belady.hpp"
 #include "policies/block_fifo.hpp"
@@ -102,12 +103,18 @@ std::vector<SimStats> run_column(const BlockMap& map, const Trace& trace,
     const bool eligible =
         std::is_same_v<Policy, ItemLru> || locality::block_column_supported(map);
     if (allow_stack && eligible) {
+      GC_OBS_SPAN(span, "stack_column_pass", "column");
+      GC_OBS_SPAN_ARG(span, "capacities", std::to_string(capacities.size()));
+      GC_OBS_COUNT("column.stack_fast_path", 1);
       std::vector<SimStats> derived;
       if constexpr (std::is_same_v<Policy, ItemLru>)
         derived = locality::item_lru_column(map, trace, capacities);
       else
         derived = locality::block_lru_column(map, trace, block_ids, capacities);
       if constexpr (kHotChecksEnabled) {
+        // Detached: stack-collapsed columns record no timeline in ANY build,
+        // so the checking replay must not either.
+        const obs::TimelineDetachScope no_timeline;
         const std::vector<SimStats> lanes = simulate_column<Policy>(
             map, trace, capacities, block_ids, make_policy);
         for (std::size_t i = 0; i < lanes.size(); ++i)
@@ -117,6 +124,9 @@ std::vector<SimStats> run_column(const BlockMap& map, const Trace& trace,
       return derived;
     }
   }
+  GC_OBS_SPAN(span, "lane_column_pass", "column");
+  GC_OBS_SPAN_ARG(span, "capacities", std::to_string(capacities.size()));
+  GC_OBS_COUNT("column.lane_engine", 1);
   return simulate_column<Policy>(map, trace, capacities, block_ids,
                                  make_policy);
 }

@@ -1,8 +1,10 @@
 #include "sim/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "core/simulator.hpp"
+#include "obs/obs.hpp"
 #include "policies/factory.hpp"
 #include "sim/thread_pool.hpp"
 #include "util/contracts.hpp"
@@ -39,8 +41,16 @@ std::vector<SweepCell> run_sweep(const SweepSpec& spec) {
     pool.parallel_for(nw, [&](std::size_t w) {
       const Workload& workload = (*spec.workloads)[w];
       GC_REQUIRE(workload.map != nullptr, "workload has no block map");
+      GC_OBS_SPAN(span, "precompute_block_ids", "sweep");
+      GC_OBS_SPAN_ARG(span, "workload", std::to_string(w));
       block_ids[w] = compute_block_ids(*workload.map, workload.trace);
+      GC_OBS_COUNT("sweep.block_id_precomputes", 1);
     });
+
+  // One progress unit per scheduled task: rows in batched mode, cells
+  // otherwise. `done` is shared across workers; the callback itself is the
+  // caller's to make thread-safe.
+  std::atomic<std::size_t> done{0};
 
   if (spec.use_fast_path && spec.batch_columns) {
     // Row-batched mode: one task per (workload, policy) row, every capacity
@@ -64,14 +74,25 @@ std::vector<SweepCell> run_sweep(const SweepSpec& spec) {
                                 (*spec.workloads)[w].trace.size())});
     std::stable_sort(rows.begin(), rows.end(),
                      [](const Row& a, const Row& b) { return a.cost > b.cost; });
+    const std::size_t total_rows = rows.size();
     for (const Row& row : rows)
-      pool.submit([&spec, &cells, &block_ids, row, np, nc] {
+      pool.submit([&spec, &cells, &block_ids, &done, row, np, nc,
+                   total_rows] {
         const Workload& workload = (*spec.workloads)[row.w];
-        const std::vector<SimStats> column = simulate_column_spec(
-            spec.policy_specs[row.p], *workload.map, workload.trace,
-            block_ids[row.w], spec.capacities);
-        for (std::size_t c = 0; c < nc; ++c)
-          cells[(row.w * np + row.p) * nc + c].stats = column[c];
+        {
+          GC_OBS_SPAN(span, "sweep_row", "sweep");
+          GC_OBS_SPAN_ARG(span, "policy", spec.policy_specs[row.p]);
+          GC_OBS_SPAN_ARG(span, "workload", std::to_string(row.w));
+          const std::vector<SimStats> column = simulate_column_spec(
+              spec.policy_specs[row.p], *workload.map, workload.trace,
+              block_ids[row.w], spec.capacities);
+          for (std::size_t c = 0; c < nc; ++c)
+            cells[(row.w * np + row.p) * nc + c].stats = column[c];
+        }
+        GC_OBS_COUNT("sweep.rows_completed", 1);
+        if (spec.progress)
+          spec.progress(done.fetch_add(1, std::memory_order_relaxed) + 1,
+                        total_rows);
       });
     pool.wait();
     return cells;
@@ -81,14 +102,23 @@ std::vector<SweepCell> run_sweep(const SweepSpec& spec) {
     SweepCell& cell = cells[idx];
     const Workload& workload = (*spec.workloads)[cell.workload_index];
     const std::string& policy_spec = spec.policy_specs[cell.policy_index];
-    if (spec.use_fast_path) {
-      cell.stats =
-          simulate_fast_spec(policy_spec, *workload.map, workload.trace,
-                             block_ids[cell.workload_index], cell.capacity);
-    } else {
-      auto policy = make_policy(policy_spec, cell.capacity);
-      cell.stats = simulate(workload, *policy, cell.capacity);
+    {
+      GC_OBS_SPAN(span, "sweep_cell", "sweep");
+      GC_OBS_SPAN_ARG(span, "policy", policy_spec);
+      GC_OBS_SPAN_ARG(span, "capacity", std::to_string(cell.capacity));
+      if (spec.use_fast_path) {
+        cell.stats =
+            simulate_fast_spec(policy_spec, *workload.map, workload.trace,
+                               block_ids[cell.workload_index], cell.capacity);
+      } else {
+        auto policy = make_policy(policy_spec, cell.capacity);
+        cell.stats = simulate(workload, *policy, cell.capacity);
+      }
     }
+    GC_OBS_COUNT("sweep.cells_completed", 1);
+    if (spec.progress)
+      spec.progress(done.fetch_add(1, std::memory_order_relaxed) + 1,
+                    cells.size());
   });
   return cells;
 }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,11 @@ struct SweepSpec {
   /// when use_fast_path is false. Off = per-cell static chunking, which is
   /// what bench_sweep compares against.
   bool batch_columns = true;
+  /// Optional coarse progress hook, invoked as units of work complete with
+  /// (done, total) — units are rows in batched mode, cells otherwise.
+  /// Called from worker threads (possibly concurrently): the callback must
+  /// be thread-safe and cheap. Backs `gcsim --progress`.
+  std::function<void(std::size_t done, std::size_t total)> progress;
 };
 
 /// Runs the full cross product and returns cells in deterministic

@@ -14,9 +14,11 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/contracts.hpp"
 
 namespace gcaching {
@@ -29,7 +31,7 @@ class ThreadPool {
       threads = std::max(1u, std::thread::hardware_concurrency());
     workers_.reserve(threads);
     for (std::size_t w = 0; w < threads; ++w)
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, w] { worker_loop(w); });
   }
 
   ThreadPool(const ThreadPool&) = delete;
@@ -93,7 +95,7 @@ class ThreadPool {
   }
 
  private:
-  void worker_loop() {
+  void worker_loop([[maybe_unused]] std::size_t worker_index) {
     for (;;) {
       std::function<void()> task;
       {
@@ -103,12 +105,18 @@ class ThreadPool {
         task = std::move(queue_.front());
         queue_.pop_front();
       }
+      // Named per task, not at thread start: the trace log is typically
+      // installed after the pool's workers are already parked (idempotent,
+      // see TraceLog::set_thread_name).
+      GC_OBS_THREAD_NAME("gcpool-worker-" + std::to_string(worker_index));
       try {
+        GC_OBS_SPAN(task_span, "pool_task", "pool");
         task();
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu_);
         if (!first_error_) first_error_ = std::current_exception();
       }
+      GC_OBS_COUNT("pool.tasks_executed", 1);
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (--outstanding_ == 0) done_cv_.notify_all();

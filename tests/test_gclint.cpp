@@ -168,6 +168,52 @@ TEST(GclintHotRegion, UnclosedRegionIsFlaggedAtItsBeginLine) {
   EXPECT_NE(hits[0].message.find("never closed"), std::string::npos);
 }
 
+TEST(GclintHotRegion, RawObsUseInsideRegionIsFlagged) {
+  const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
+GC_HOT_REGION_BEGIN(per_access)
+inline void step(int x) {
+  obs::current_timeline()->record(0, x);
+  gcaching::obs::metrics()->add("step", 1);
+}
+GC_HOT_REGION_END(per_access)
+)cpp"}};
+  const auto hits =
+      findings_for_rule(gclint::lint(files), "hot-region-raw-obs");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].line, 4u);  // the unqualified obs:: call
+  EXPECT_EQ(hits[1].line, 5u);  // the fully qualified one
+  EXPECT_NE(hits[0].message.find("GC_OBS_"), std::string::npos);
+}
+
+TEST(GclintHotRegion, ObsMacrosAndOutsideUseAreLegal) {
+  // GC_OBS_* entry points inside the region are the sanctioned form; raw
+  // obs:: is fine outside any region; identifiers merely containing "obs"
+  // (jobs::, obs_tl) must not trip the token match.
+  const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
+obs::StatsTimeline timeline(64);
+GC_HOT_REGION_BEGIN(per_access)
+inline void step(int x) {
+  GC_OBS_TIMELINE(obs_tl);
+  GC_OBS_TICK(obs_tl, 0, live_stats());
+  jobs::enqueue(x);
+}
+GC_HOT_REGION_END(per_access)
+)cpp"}};
+  EXPECT_TRUE(
+      findings_for_rule(gclint::lint(files), "hot-region-raw-obs").empty());
+}
+
+TEST(GclintHotRegion, AllowAnnotationSuppressesRawObs) {
+  const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
+GC_HOT_REGION_BEGIN(per_access)
+// GCLINT-ALLOW(hot-region-raw-obs): amortized, fires once per window
+inline void flush() { obs::current_timeline()->record(0, {}); }
+GC_HOT_REGION_END(per_access)
+)cpp"}};
+  EXPECT_TRUE(
+      findings_for_rule(gclint::lint(files), "hot-region-raw-obs").empty());
+}
+
 TEST(GclintHotRegion, HotTierContractsAreLegalInside) {
   const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
 GC_HOT_REGION_BEGIN(per_access)

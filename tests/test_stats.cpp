@@ -1,0 +1,111 @@
+// SimStats arithmetic and ratio-helper semantics.
+//
+// Every ratio helper shares one zero-denominator convention — an empty
+// denominator yields 0.0, never NaN or inf — so "no traffic yet" rows format
+// and aggregate cleanly (timeline windows, sweep tables). The subtraction
+// operators underpin gcobs windowing: `later - earlier` of two snapshots of
+// the same run is the exact per-window delta.
+#include <gtest/gtest.h>
+
+#include "core/stats.hpp"
+
+namespace gcaching {
+namespace {
+
+SimStats sample() {
+  SimStats s;
+  s.accesses = 100;
+  s.hits = 60;
+  s.misses = 40;
+  s.temporal_hits = 45;
+  s.spatial_hits = 15;
+  s.items_loaded = 120;
+  s.sideloads = 80;
+  s.evictions = 70;
+  s.wasted_sideloads = 20;
+  return s;
+}
+
+TEST(SimStatsRatios, ValuesOnPopulatedCounters) {
+  const SimStats s = sample();
+  EXPECT_DOUBLE_EQ(s.miss_rate(), 0.4);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.6);
+  EXPECT_DOUBLE_EQ(s.spatial_hit_share(), 0.25);
+  EXPECT_DOUBLE_EQ(s.loads_per_miss(), 3.0);
+  EXPECT_DOUBLE_EQ(s.wasted_sideload_share(), 0.25);
+}
+
+TEST(SimStatsRatios, ZeroDenominatorsYieldZeroNotNan) {
+  const SimStats empty;
+  EXPECT_DOUBLE_EQ(empty.miss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.spatial_hit_share(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.loads_per_miss(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.wasted_sideload_share(), 0.0);
+}
+
+TEST(SimStatsRatios, EachHelperUsesItsOwnDenominator) {
+  // Nonzero accesses but zero hits/misses/sideloads: only the helpers whose
+  // denominator is populated may report a nonzero value.
+  SimStats s;
+  s.accesses = 10;
+  EXPECT_DOUBLE_EQ(s.miss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(s.spatial_hit_share(), 0.0);
+  EXPECT_DOUBLE_EQ(s.loads_per_miss(), 0.0);
+  EXPECT_DOUBLE_EQ(s.wasted_sideload_share(), 0.0);
+
+  // All-wasted speculative traffic is share 1.0, not a division hazard.
+  s.sideloads = 5;
+  s.wasted_sideloads = 5;
+  EXPECT_DOUBLE_EQ(s.wasted_sideload_share(), 1.0);
+}
+
+TEST(SimStatsRatios, SharedRatioHelperConvention) {
+  EXPECT_DOUBLE_EQ(SimStats::ratio(3, 4), 0.75);
+  EXPECT_DOUBLE_EQ(SimStats::ratio(0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(SimStats::ratio(3, 0), 0.0);
+  EXPECT_DOUBLE_EQ(SimStats::ratio(0, 0), 0.0);
+}
+
+TEST(SimStatsArithmetic, PlusMinusRoundTrip) {
+  const SimStats a = sample();
+  SimStats b;
+  b.accesses = 7;
+  b.hits = 3;
+  b.misses = 4;
+  b.temporal_hits = 2;
+  b.spatial_hits = 1;
+  b.items_loaded = 9;
+  b.sideloads = 5;
+  b.evictions = 6;
+  b.wasted_sideloads = 2;
+
+  SimStats sum = a;
+  sum += b;
+  EXPECT_EQ(sum - b, a);
+  EXPECT_EQ(sum - a, b);
+
+  SimStats back = sum;
+  back -= b;
+  EXPECT_EQ(back, a);
+}
+
+TEST(SimStatsArithmetic, SnapshotDeltaCoversEveryCounter) {
+  // The windowing use: a later snapshot minus an earlier one of the same
+  // monotonic run isolates exactly the interval's activity.
+  const SimStats earlier = sample();
+  SimStats later = sample();
+  later += sample();  // "the run continued"
+  const SimStats delta = later - earlier;
+  EXPECT_EQ(delta, earlier);  // doubled minus one copy = one copy
+  EXPECT_EQ(delta.accesses, 100u);
+  EXPECT_EQ(delta.wasted_sideloads, 20u);
+}
+
+TEST(SimStatsArithmetic, SelfDifferenceIsEmpty) {
+  const SimStats s = sample();
+  EXPECT_EQ(s - s, SimStats{});
+}
+
+}  // namespace
+}  // namespace gcaching

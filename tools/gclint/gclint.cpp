@@ -206,8 +206,13 @@ void add(std::vector<Finding>& out, const FileView& v, std::size_t idx,
 void check_hot_regions(const FileView& v, std::vector<Finding>& out) {
   constexpr const char* kBalance = "hot-region-balance";
   constexpr const char* kCold = "hot-region-cold-contract";
+  constexpr const char* kRawObs = "hot-region-raw-obs";
   static const std::vector<std::string> kColdMacros = {
       "GC_REQUIRE", "GC_ENSURE", "GC_CHECK"};
+  // Matches `obs::` and `gcaching::obs::` alike; the GC_OBS_* macros (the
+  // only sanctioned entry points in per-access code) never expand from a
+  // token spelled `obs`.
+  static const std::regex raw_obs_re(R"(\bobs\s*::)");
   std::optional<std::string> open_label;
   std::size_t open_line = 0;
   const std::regex marker_re(R"((GC_HOT_REGION_BEGIN|GC_HOT_REGION_END)\s*\(\s*([A-Za-z_]\w*)\s*\))");
@@ -248,6 +253,12 @@ void check_hot_regions(const FileView& v, std::vector<Finding>& out) {
                 "' — use the GC_HOT_* tier (compiled out under GC_FAST_SIM) " +
                 "or move the check out of the per-access path");
       }
+    }
+    if (std::regex_search(line, raw_obs_re)) {
+      add(out, v, i, kRawObs,
+          "direct obs:: use inside hot region '" + *open_label +
+              "' — per-access telemetry must go through the GC_OBS_* macros, "
+              "which compile to nothing under GCACHING_OBS=OFF");
     }
   }
   if (open_label) {

@@ -11,6 +11,12 @@
 //                             GC_FAST_SIM configuration exists to remove.
 //   hot-region-balance        BEGIN/END markers must pair, labels must match,
 //                             regions must not nest and must close by EOF.
+//   hot-region-raw-obs        No direct `obs::` (or `gcaching::obs::`) use
+//                             inside a hot region — per-access telemetry must
+//                             go through the GC_OBS_* macros, which expand to
+//                             nothing when GCACHING_OBS is OFF. A raw call
+//                             would keep paying the telemetry cost in the
+//                             configurations that opted out of it.
 //   trait-audit               Every opt-in policy trait declaration
 //                             (kRequestedLoadsOnly, kEvictsOutsideMiss,
 //                             kIsStackPolicy) must carry a

@@ -2,8 +2,9 @@
 //
 //   gcsim generate  --kind KIND [kind options] --out FILE
 //   gcsim simulate  --workload FILE --capacity N --policy SPEC [--policy ..]
+//                   [--obs DIR] [--obs-window N]
 //   gcsim sweep     --workload FILE --policies A,B,.. --capacities N,M,..
-//                   [--threads T] [--csv FILE]
+//                   [--threads T] [--csv FILE] [--obs DIR] [--progress]
 //   gcsim profile   --workload FILE [--windows N1,N2,..]
 //   gcsim adversary --type item|block|general --policy SPEC
 //                   --k N --h N --B N [--phases P] [--save FILE]
@@ -11,9 +12,14 @@
 //   gcsim bounds    --k N --h N --B N [--i N --b N]
 //
 // Everything the library can do, scriptable. Run `gcsim help` for details.
+#include <cctype>
+#include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -30,6 +36,7 @@
 #include "locality/poly_fit.hpp"
 #include "locality/trace_stats.hpp"
 #include "locality/window_profile.hpp"
+#include "obs/obs.hpp"
 #include "offline/exact_opt.hpp"
 #include "offline/opt_bounds.hpp"
 #include "offline/opt_portfolio.hpp"
@@ -47,7 +54,8 @@ namespace gcaching::cli {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Tiny argument parser: --key value pairs, repeated keys accumulate.
+// Tiny argument parser: --key value pairs, repeated keys accumulate. A few
+// keys are bare flags that consume no value.
 // ---------------------------------------------------------------------------
 
 class Args {
@@ -60,6 +68,10 @@ class Args {
         std::exit(2);
       }
       key = key.substr(2);
+      if (is_flag(key)) {
+        values_[key].push_back("1");
+        continue;
+      }
       if (a + 1 >= argc) {
         std::cerr << "missing value for --" << key << "\n";
         std::exit(2);
@@ -97,6 +109,8 @@ class Args {
   }
 
  private:
+  static bool is_flag(const std::string& key) { return key == "progress"; }
+
   std::map<std::string, std::vector<std::string>> values_;
 };
 
@@ -114,6 +128,88 @@ std::vector<std::size_t> split_sizes(const std::string& s) {
   for (const auto& tok : split_csv(s)) out.push_back(std::stoull(tok));
   return out;
 }
+
+// ---------------------------------------------------------------------------
+// Observability sinks (`--obs DIR`) and `--progress`
+// ---------------------------------------------------------------------------
+
+std::string sanitize_for_filename(const std::string& s) {
+  std::string out;
+  for (const char c : s)
+    out += std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_';
+  return out;
+}
+
+/// Installs a process-wide TraceLog + CounterRegistry for the command's
+/// lifetime and writes DIR/trace.json, counters.csv, counters.jsonl on
+/// destruction. Constructed only when `--obs DIR` is given — and that
+/// requires a build whose GC_OBS_* hooks are live.
+class ObsSinks {
+ public:
+  explicit ObsSinks(const std::string& dir)
+      : dir_(dir), trace_scope_(log_), metrics_scope_(registry_) {
+    std::filesystem::create_directories(dir_);
+  }
+  ~ObsSinks() {
+    log_.write_chrome_trace_file(dir_ + "/trace.json");
+    registry_.write_csv(dir_ + "/counters.csv");
+    registry_.write_jsonl(dir_ + "/counters.jsonl");
+    std::cout << "obs: wrote " << dir_ << "/trace.json (" << log_.size()
+              << " events), counters.csv, counters.jsonl\n";
+  }
+  ObsSinks(const ObsSinks&) = delete;
+  ObsSinks& operator=(const ObsSinks&) = delete;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  obs::TraceLog log_;
+  obs::CounterRegistry registry_;
+  obs::TraceLogScope trace_scope_;
+  obs::MetricsScope metrics_scope_;
+};
+
+/// `--obs` is rejected loudly in builds whose hooks are compiled out: a
+/// silently empty trace would read as "nothing happened".
+void require_obs_build(const Args& args) {
+  if (args.has("obs") && !obs::kObsEnabled) {
+    std::cerr << "--obs requires a build with GCACHING_OBS=ON (the default "
+                 "and `obs` presets; the `fast` preset compiles telemetry "
+                 "out)\n";
+    std::exit(2);
+  }
+}
+
+/// stderr progress line for long sweeps: "\rsweep: done/total (ETA ..s)",
+/// throttled to ~10 updates/s. Thread-safe (called from pool workers).
+class ProgressPrinter {
+ public:
+  void report(std::size_t done, std::size_t total) {
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool final = done >= total;
+    if (!final && now - last_print_ < std::chrono::milliseconds(100)) return;
+    last_print_ = now;
+    const double elapsed =
+        std::chrono::duration<double>(now - start_).count();
+    std::cerr << "\rsweep: " << done << "/" << total << " rows";
+    if (final) {
+      std::cerr << " (done in " << TextTable::fmt(elapsed, 1) << "s)\n";
+    } else if (done > 0) {
+      const double eta =
+          elapsed / static_cast<double>(done) *
+          static_cast<double>(total - done);
+      std::cerr << " (ETA " << TextTable::fmt(eta, 1) << "s)   ";
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  std::chrono::steady_clock::time_point last_print_;
+};
 
 // ---------------------------------------------------------------------------
 // Subcommands
@@ -191,6 +287,9 @@ int cmd_simulate(const Args& args) {
   if (fast) w.trace.precompute_block_ids(*w.map);
   auto specs = args.get_all("policy");
   if (specs.empty()) specs = {"item-lru", "block-lru", "iblp"};
+  require_obs_build(args);
+  std::optional<ObsSinks> sinks;
+  if (args.has("obs")) sinks.emplace(args.get("obs"));
   std::cout << "workload: " << w.name << " (" << w.trace.size()
             << " accesses), capacity " << capacity
             << (fast ? ", fast engine" : ", verifying engine") << "\n";
@@ -198,8 +297,27 @@ int cmd_simulate(const Args& args) {
                    "loads/miss", "wasted"});
   for (const auto& spec : specs) {
     auto policy = make_policy(spec, capacity);
-    const SimStats s = fast ? simulate_fast_spec(spec, w, capacity)
-                            : simulate(w, *policy, capacity);
+    SimStats s;
+    if (sinks) {
+      // Windowed per-policy timeline: attach to this thread for the run,
+      // then write one CSV + JSON-lines pair per policy spec.
+      obs::StatsTimeline timeline(args.get_u64("obs-window", 0));
+      {
+        const obs::TimelineScope scope(timeline);
+        s = fast ? simulate_fast_spec(spec, w, capacity)
+                 : simulate(w, *policy, capacity);
+      }
+      const std::string stem =
+          sinks->dir() + "/timeline-" + sanitize_for_filename(spec);
+      timeline.write_csv(stem + ".csv");
+      timeline.write_jsonl(stem + ".jsonl");
+      std::cout << "obs: wrote " << stem << ".csv/.jsonl ("
+                << timeline.windows(0).size() << " windows of "
+                << timeline.window() << ")\n";
+    } else {
+      s = fast ? simulate_fast_spec(spec, w, capacity)
+               : simulate(w, *policy, capacity);
+    }
     table.add_row({policy->name(), TextTable::fmt_int(s.misses),
                    TextTable::fmt(s.miss_rate(), 4),
                    TextTable::fmt_int(s.temporal_hits),
@@ -233,6 +351,16 @@ int cmd_sweep(const Args& args) {
   } else {
     std::cerr << "unknown --batch " << batch << " (on|off)\n";
     std::exit(2);
+  }
+  require_obs_build(args);
+  std::optional<ObsSinks> sinks;
+  if (args.has("obs")) sinks.emplace(args.get("obs"));
+  std::shared_ptr<ProgressPrinter> printer;
+  if (args.has("progress")) {
+    printer = std::make_shared<ProgressPrinter>();
+    spec.progress = [printer](std::size_t done, std::size_t total) {
+      printer->report(done, total);
+    };
   }
   const auto cells = sim::run_sweep(spec);
 
@@ -504,11 +632,19 @@ subcommands:
              --cold --scan --p --gamma]
   simulate   run policies over a workload file
              --workload FILE --capacity N [--policy SPEC]...
-             [--mode fast|verify]
+             [--mode fast|verify] [--obs DIR] [--obs-window N]
   sweep      policy x capacity grid, in parallel
              --workload FILE [--workload FILE]... --policies A,B,..
              --capacities N,M,.. [--threads T] [--csv FILE]
-             [--mode fast|verify] [--batch on|off]
+             [--mode fast|verify] [--batch on|off] [--obs DIR] [--progress]
+
+observability (GCACHING_OBS=ON builds; see docs/OBSERVABILITY.md):
+  --obs DIR        write telemetry sinks into DIR: trace.json (Chrome
+                   trace-event spans + counters), counters.csv/.jsonl,
+                   and (simulate only) timeline-<policy>.csv/.jsonl with
+                   one windowed SimStats delta row per window
+  --obs-window N   accesses per timeline window (0 = auto, ~256 windows)
+  --progress       live sweep progress with ETA on stderr
   profile    measure f(n)/g(n) locality profiles and power-law fits
              --workload FILE [--windows N1,N2,..]
   mrc        exact LRU miss-ratio curves (item and block granularity)
