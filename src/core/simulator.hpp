@@ -288,11 +288,9 @@ std::vector<SimStats> simulate_column(const BlockMap& map, const Trace& trace,
 template <typename Policy>
 SimStats simulate_fast(const BlockMap& map, const Trace& trace,
                        Policy& policy, std::size_t capacity) {
-  if (trace.has_block_ids(map))
-    return simulate_fast(map, trace, policy, capacity, trace.block_ids());
-  const std::vector<BlockId> ids = compute_block_ids(map, trace);
-  return simulate_fast(map, trace, policy, capacity,
-                       std::span<const BlockId>(ids));
+  std::vector<BlockId> storage;
+  const std::span<const BlockId> ids = resolve_block_ids(map, trace, storage);
+  return simulate_fast(map, trace, policy, capacity, ids);
 }
 
 }  // namespace gcaching

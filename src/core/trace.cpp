@@ -19,6 +19,21 @@ void Trace::precompute_block_ids(const BlockMap& map) {
   block_map_ = &map;
 }
 
+void Trace::adopt_block_ids(const BlockMap& map, std::vector<BlockId> ids) {
+  GC_REQUIRE(ids.size() == accesses_.size(),
+             "adopt_block_ids needs exactly one block id per access");
+  if constexpr (kHotChecksEnabled) {
+    for (std::size_t i = 0; i < accesses_.size(); ++i) {
+      GC_CHECK(accesses_[i] < map.num_items(),
+               "trace references item outside the map");
+      GC_CHECK(ids[i] == map.block_of(accesses_[i]),
+               "adopted block id disagrees with the map");
+    }
+  }
+  block_ids_ = std::move(ids);
+  block_map_ = &map;
+}
+
 std::vector<BlockId> compute_block_ids(const BlockMap& map,
                                        const Trace& trace) {
   std::vector<BlockId> out;
@@ -28,6 +43,14 @@ std::vector<BlockId> compute_block_ids(const BlockMap& map,
     out.push_back(map.block_of(it));
   }
   return out;
+}
+
+std::span<const BlockId> resolve_block_ids(const BlockMap& map,
+                                           const Trace& trace,
+                                           std::vector<BlockId>& storage) {
+  if (trace.has_block_ids(map)) return trace.block_ids();
+  storage = compute_block_ids(map, trace);
+  return storage;
 }
 
 std::size_t Trace::distinct_items() const {

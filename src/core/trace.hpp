@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -13,6 +14,7 @@
 
 #include "core/block_map.hpp"
 #include "core/types.hpp"
+#include "util/contracts.hpp"
 
 namespace gcaching {
 
@@ -67,6 +69,12 @@ class Trace {
   /// The cached per-access block ids (valid only when has_block_ids()).
   std::span<const BlockId> block_ids() const noexcept { return block_ids_; }
 
+  /// Install externally computed block ids (e.g. from a sampling filter
+  /// that resolved them as a by-product) as this trace's cache for `map`.
+  /// `ids` must hold exactly one id per access; in checking builds every id
+  /// is verified against the map.
+  void adopt_block_ids(const BlockMap& map, std::vector<BlockId> ids);
+
  private:
   std::vector<ItemId> accesses_;
   std::vector<BlockId> block_ids_;
@@ -78,6 +86,78 @@ class Trace {
 /// against `map`, validating item ranges as it goes.
 std::vector<BlockId> compute_block_ids(const BlockMap& map,
                                        const Trace& trace);
+
+/// The one place the "use the trace's cached ids, else resolve them once"
+/// decision lives (previously repeated across the fast-engine setup, the
+/// factory dispatch, and the sweep runner). Returns the trace's cached ids
+/// when they were precomputed against `map`; otherwise resolves into
+/// `storage` and returns a span over it. The returned span is valid as long
+/// as both `trace` and `storage` are.
+std::span<const BlockId> resolve_block_ids(const BlockMap& map,
+                                           const Trace& trace,
+                                           std::vector<BlockId>& storage);
+
+// ---- One-pass filtered-trace materialization ------------------------------
+// Support for trace sampling (locality/sample.hpp): a single pass over an
+// access stream keeps the accesses whose *block* a predicate accepts,
+// materializing the filtered accesses and their block ids together. Keeping
+// the filter block-level is what makes sampling block-consistent: an item
+// is kept iff its whole block is, so item- and block-granularity policies
+// see a coherent sub-universe.
+
+/// A filtered view of an access stream: the surviving accesses, their block
+/// ids (same length), and the length of the unfiltered input.
+struct FilteredTrace {
+  std::vector<ItemId> accesses;
+  std::vector<BlockId> block_ids;
+  std::uint64_t total_accesses = 0;
+};
+
+/// One-pass materializer over parallel (access, block id) streams: keeps
+/// accesses[i] iff keep_block(block_ids[i]). The spans may be mmap-backed
+/// (core/trace_io TraceView) — the pass is strictly sequential and never
+/// writes, so a billion-request file streams through the page cache.
+template <typename KeepBlock>
+FilteredTrace filter_trace(std::span<const ItemId> accesses,
+                           std::span<const BlockId> block_ids,
+                           KeepBlock&& keep_block) {
+  GC_REQUIRE(block_ids.size() == accesses.size(),
+             "one block id per access is required");
+  FilteredTrace out;
+  out.total_accesses = accesses.size();
+  GC_HOT_REGION_BEGIN(filter_trace_loop)
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    if (keep_block(block_ids[i])) {
+      out.accesses.push_back(accesses[i]);
+      out.block_ids.push_back(block_ids[i]);
+    }
+  }
+  GC_HOT_REGION_END(filter_trace_loop)
+  return out;
+}
+
+/// Uniform-partition overload: block ids are derived as item / block_size on
+/// the fly, so only the (possibly mmap-backed) access stream is read. This
+/// is the path that lets the sampler stream a binary trace file without a
+/// precomputed block-id array.
+template <typename KeepBlock>
+FilteredTrace filter_trace_uniform(std::span<const ItemId> accesses,
+                                   std::size_t block_size,
+                                   KeepBlock&& keep_block) {
+  GC_REQUIRE(block_size > 0, "block size must be positive");
+  FilteredTrace out;
+  out.total_accesses = accesses.size();
+  GC_HOT_REGION_BEGIN(filter_trace_uniform_loop)
+  for (const ItemId item : accesses) {
+    const BlockId block = static_cast<BlockId>(item / block_size);
+    if (keep_block(block)) {
+      out.accesses.push_back(item);
+      out.block_ids.push_back(block);
+    }
+  }
+  GC_HOT_REGION_END(filter_trace_uniform_loop)
+  return out;
+}
 
 /// A trace plus the partition it is defined over. The map is shared because
 /// many traces (e.g. a parameter sweep) reference one partition.

@@ -1,10 +1,20 @@
 #include "core/trace_io.hpp"
 
+#include <bit>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GC_TRACE_BIN_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 #include "util/contracts.hpp"
 
@@ -129,6 +139,265 @@ Workload load_workload_file(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("cannot open for read: " + path);
   return load_workload(is);
+}
+
+// ---- Binary `gctrace` format ----------------------------------------------
+//
+// Layout (all integers little-endian):
+//   byte  0: magic "GCTB"
+//   byte  4: u32 version (currently 1)
+//   byte  8: u64 num_items
+//   byte 16: u64 block_size          (uniform partition parameter B)
+//   byte 24: u64 num_accesses
+//   byte 32: u64 name_len            (<= kMaxNameLen)
+//   byte 40: name bytes, zero-padded to a multiple of 8
+//   then   : num_accesses fixed-width u32 item-id records
+// The 8-byte name padding keeps the record array 4-byte aligned for the
+// mmap path.
+
+namespace {
+
+constexpr char kTraceBinMagic[4] = {'G', 'C', 'T', 'B'};
+constexpr std::uint32_t kTraceBinVersion = 1;
+constexpr std::size_t kTraceBinHeaderSize = 40;
+constexpr std::uint64_t kMaxNameLen = 1 << 16;
+constexpr std::size_t kRecordSize = sizeof(ItemId);
+
+std::size_t padded_name_len(std::uint64_t name_len) {
+  return static_cast<std::size_t>((name_len + 7) / 8 * 8);
+}
+
+[[noreturn]] void bin_fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("gctrace error: " + path + ": " + what);
+}
+
+void put_u32(std::string& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+void save_trace_bin_file(const std::string& path, const Workload& w) {
+  GC_REQUIRE(w.map != nullptr, "workload has no block map");
+  const auto* uniform = dynamic_cast<const UniformBlockMap*>(w.map.get());
+  GC_REQUIRE(uniform != nullptr,
+             "gctrace stores uniform partitions only — save explicit "
+             "partitions in the text format");
+  GC_REQUIRE(w.name.size() <= kMaxNameLen, "workload name too long");
+
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+
+  std::string header;
+  header.append(kTraceBinMagic, sizeof(kTraceBinMagic));
+  put_u32(header, kTraceBinVersion);
+  put_u64(header, w.map->num_items());
+  put_u64(header, w.map->max_block_size());
+  put_u64(header, w.trace.size());
+  put_u64(header, w.name.size());
+  header += w.name;
+  header.resize(kTraceBinHeaderSize + padded_name_len(w.name.size()), '\0');
+  os.write(header.data(), static_cast<std::streamsize>(header.size()));
+
+  if constexpr (std::endian::native == std::endian::little) {
+    // Record array is already the on-disk layout; write it in one go.
+    os.write(reinterpret_cast<const char*>(w.trace.accesses().data()),
+             static_cast<std::streamsize>(w.trace.size() * kRecordSize));
+  } else {
+    std::string rec;
+    rec.reserve(w.trace.size() * kRecordSize);
+    for (const ItemId item : w.trace) put_u32(rec, item);
+    os.write(rec.data(), static_cast<std::streamsize>(rec.size()));
+  }
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+bool is_trace_bin_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  return is.gcount() == sizeof(magic) &&
+         std::memcmp(magic, kTraceBinMagic, sizeof(magic)) == 0;
+}
+
+TraceView::TraceView(const std::string& path) {
+  // Read and validate the fixed header + name through a plain stream first;
+  // only the record array is mapped/bulk-read.
+  std::ifstream is(path, std::ios::binary);
+  if (!is) bin_fail(path, "cannot open for read");
+  is.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(is.tellg());
+  is.seekg(0, std::ios::beg);
+
+  if (file_size < kTraceBinHeaderSize)
+    bin_fail(path, "file is " + std::to_string(file_size) +
+                       " bytes — shorter than the " +
+                       std::to_string(kTraceBinHeaderSize) +
+                       "-byte gctrace header");
+  unsigned char header[kTraceBinHeaderSize];
+  is.read(reinterpret_cast<char*>(header), kTraceBinHeaderSize);
+  if (std::memcmp(header, kTraceBinMagic, sizeof(kTraceBinMagic)) != 0)
+    bin_fail(path, "bad magic — not a gctrace file");
+  const std::uint32_t version = get_u32(header + 4);
+  if (version != kTraceBinVersion)
+    bin_fail(path, "unsupported gctrace version " + std::to_string(version));
+  num_items_ = get_u64(header + 8);
+  block_size_ = get_u64(header + 16);
+  const std::uint64_t num_accesses = get_u64(header + 24);
+  const std::uint64_t name_len = get_u64(header + 32);
+  if (num_items_ == 0 || num_items_ > std::uint64_t{1} << 32)
+    bin_fail(path, "invalid num_items " + std::to_string(num_items_));
+  if (block_size_ == 0 || block_size_ > num_items_)
+    bin_fail(path, "invalid block_size " + std::to_string(block_size_));
+  if (name_len > kMaxNameLen)
+    bin_fail(path, "name length " + std::to_string(name_len) +
+                       " exceeds the format limit");
+
+  const std::uint64_t records_off =
+      kTraceBinHeaderSize + padded_name_len(name_len);
+  const std::uint64_t expected = records_off + num_accesses * kRecordSize;
+  if (file_size != expected) {
+    // The single loudest failure mode of a binary format is a short file
+    // read as a shorter trace. Report exactly where the stream ends.
+    const std::uint64_t record_bytes =
+        file_size > records_off ? file_size - records_off : 0;
+    bin_fail(path,
+             (file_size < expected ? "truncated: " : "trailing garbage: ") +
+                 std::string("file is ") + std::to_string(file_size) +
+                 " bytes, expected " + std::to_string(expected) + " (" +
+                 std::to_string(num_accesses) + " records x " +
+                 std::to_string(kRecordSize) + " bytes starting at byte " +
+                 std::to_string(records_off) + "; file ends after " +
+                 std::to_string(record_bytes / kRecordSize) +
+                 " complete records at byte " + std::to_string(file_size) +
+                 ")");
+  }
+
+  name_.resize(name_len);
+  if (name_len > 0) {
+    is.read(name_.data(), static_cast<std::streamsize>(name_len));
+    if (!is) bin_fail(path, "cannot read name field");
+  }
+  num_accesses_ = static_cast<std::size_t>(num_accesses);
+
+#if defined(GC_TRACE_BIN_MMAP)
+  if constexpr (std::endian::native == std::endian::little) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      void* addr = nullptr;
+      if (file_size > 0)
+        addr = ::mmap(nullptr, static_cast<std::size_t>(file_size), PROT_READ,
+                      MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (addr != nullptr && addr != MAP_FAILED) {
+        map_addr_ = addr;
+        map_len_ = static_cast<std::size_t>(file_size);
+        data_ = reinterpret_cast<const ItemId*>(
+            static_cast<const char*>(addr) + records_off);
+        // Sequential streaming is the expected access pattern.
+        ::madvise(addr, map_len_, MADV_SEQUENTIAL);
+        return;
+      }
+    }
+    // fall through to the owned-buffer path on any mmap failure
+  }
+#endif
+  owned_.resize(num_accesses_);
+  is.seekg(static_cast<std::streamoff>(records_off), std::ios::beg);
+  if (num_accesses_ > 0) {
+    if constexpr (std::endian::native == std::endian::little) {
+      is.read(reinterpret_cast<char*>(owned_.data()),
+              static_cast<std::streamsize>(num_accesses_ * kRecordSize));
+    } else {
+      std::vector<unsigned char> raw(num_accesses_ * kRecordSize);
+      is.read(reinterpret_cast<char*>(raw.data()),
+              static_cast<std::streamsize>(raw.size()));
+      for (std::size_t i = 0; i < num_accesses_; ++i)
+        owned_[i] = get_u32(raw.data() + i * kRecordSize);
+    }
+    if (!is) bin_fail(path, "cannot read record stream");
+  }
+  data_ = owned_.data();
+}
+
+TraceView::~TraceView() { release(); }
+
+void TraceView::release() noexcept {
+#if defined(GC_TRACE_BIN_MMAP)
+  if (map_addr_ != nullptr) ::munmap(map_addr_, map_len_);
+#endif
+  map_addr_ = nullptr;
+  map_len_ = 0;
+  data_ = nullptr;
+}
+
+TraceView::TraceView(TraceView&& other) noexcept
+    : data_(other.data_),
+      num_accesses_(other.num_accesses_),
+      num_items_(other.num_items_),
+      block_size_(other.block_size_),
+      name_(std::move(other.name_)),
+      owned_(std::move(other.owned_)),
+      map_addr_(other.map_addr_),
+      map_len_(other.map_len_) {
+  if (!owned_.empty()) data_ = owned_.data();
+  other.map_addr_ = nullptr;
+  other.map_len_ = 0;
+  other.data_ = nullptr;
+  other.num_accesses_ = 0;
+}
+
+TraceView& TraceView::operator=(TraceView&& other) noexcept {
+  if (this == &other) return *this;
+  release();
+  data_ = other.data_;
+  num_accesses_ = other.num_accesses_;
+  num_items_ = other.num_items_;
+  block_size_ = other.block_size_;
+  name_ = std::move(other.name_);
+  owned_ = std::move(other.owned_);
+  map_addr_ = other.map_addr_;
+  map_len_ = other.map_len_;
+  if (!owned_.empty()) data_ = owned_.data();
+  other.map_addr_ = nullptr;
+  other.map_len_ = 0;
+  other.data_ = nullptr;
+  other.num_accesses_ = 0;
+  return *this;
+}
+
+std::shared_ptr<const BlockMap> TraceView::make_map() const {
+  return make_uniform_blocks(static_cast<std::size_t>(num_items_),
+                             static_cast<std::size_t>(block_size_));
+}
+
+Workload TraceView::materialize() const {
+  Workload w;
+  w.map = make_map();
+  const std::span<const ItemId> acc = accesses();
+  w.trace = Trace(std::vector<ItemId>(acc.begin(), acc.end()));
+  w.name = name_;
+  w.validate();
+  return w;
 }
 
 }  // namespace gcaching

@@ -236,11 +236,9 @@ SimStats simulate_fast_spec(const std::string& spec, const BlockMap& map,
 
 SimStats simulate_fast_spec(const std::string& spec, const BlockMap& map,
                             const Trace& trace, std::size_t capacity) {
-  if (trace.has_block_ids(map))
-    return simulate_fast_spec(spec, map, trace, trace.block_ids(), capacity);
-  const std::vector<BlockId> ids = compute_block_ids(map, trace);
-  return simulate_fast_spec(spec, map, trace,
-                            std::span<const BlockId>(ids), capacity);
+  std::vector<BlockId> storage;
+  const std::span<const BlockId> ids = resolve_block_ids(map, trace, storage);
+  return simulate_fast_spec(spec, map, trace, ids, capacity);
 }
 
 SimStats simulate_fast_spec(const std::string& spec, const Workload& workload,

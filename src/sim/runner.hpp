@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -53,6 +54,34 @@ struct SweepSpec {
   /// when use_fast_path is false. Off = per-cell static chunking, which is
   /// what bench_sweep compares against.
   bool batch_columns = true;
+  // ---- Spatial-hash sampling (locality/sample.hpp) ------------------------
+  // When active, each workload is filtered ONCE through the block-consistent
+  // SHARDS sampler, every engine (batched, per-cell, verifying) runs on the
+  // filtered trace at capacities scaled by the workload's effective rate,
+  // and the resulting counters are rescaled back to full-trace estimates.
+  // Cells still report the ORIGINAL capacity. `sample_rate == 1.0` with
+  // `sample_blocks == 0` bypasses sampling entirely — results are
+  // bit-identical to an unsampled sweep (pinned by tests/test_sample.cpp).
+  /// Fixed-rate sampling: keep blocks with hash < rate * 2^64. In (0, 1].
+  double sample_rate = 1.0;
+  /// Fixed-size sampling when > 0: cap on distinct sampled blocks per
+  /// workload (adaptive threshold); `sample_rate` is then ignored.
+  std::size_t sample_blocks = 0;
+  /// Sampler hash seed; distinct seeds give independent samples.
+  std::uint64_t sample_seed = 1;
+  /// Provenance of a workload the CALLER already ran through the sampler
+  /// (e.g. gcsim streaming a binary trace through locality::sample_view so
+  /// the full trace is never materialized): the effective rate and the
+  /// unfiltered access count, which the runner still needs for capacity
+  /// scaling and counter rescale.
+  struct Presampled {
+    double rate = 1.0;
+    std::uint64_t total_accesses = 0;
+  };
+  /// One entry per workload when the caller pre-filtered them; must be
+  /// empty otherwise, and is mutually exclusive with sample_rate /
+  /// sample_blocks (the runner would sample an already-sampled trace).
+  std::vector<Presampled> presampled;
   /// Optional coarse progress hook, invoked as units of work complete with
   /// (done, total) — units are rows in batched mode, cells otherwise.
   /// Called from worker threads (possibly concurrently): the callback must

@@ -35,6 +35,28 @@ Workload zipf_items(std::size_t num_items, std::size_t block_size,
   return w;
 }
 
+Workload zipf_scramble(std::size_t num_items, std::size_t block_size,
+                       std::size_t length, double theta, std::uint64_t seed) {
+  std::ostringstream nm;
+  nm << "zipf-scramble(n=" << num_items << ",B=" << block_size
+     << ",theta=" << theta << ")";
+  Workload w = make_workload(num_items, block_size, nm.str());
+  // Derive the permutation from its own stream so the popularity draw
+  // sequence matches zipf_items with the same seed.
+  std::vector<ItemId> perm(num_items);
+  for (std::size_t i = 0; i < num_items; ++i)
+    perm[i] = static_cast<ItemId>(i);
+  SplitMix64 perm_rng(seed ^ 0x5ca3b1e5u);
+  for (std::size_t i = num_items - 1; i > 0; --i)
+    std::swap(perm[i], perm[perm_rng.below(i + 1)]);
+  SplitMix64 rng(seed);
+  ZipfSampler zipf(num_items, theta);
+  w.trace.reserve(length);
+  for (std::size_t t = 0; t < length; ++t)
+    w.trace.push(perm[static_cast<std::size_t>(zipf(rng))]);
+  return w;
+}
+
 Workload zipf_blocks(std::size_t num_blocks, std::size_t block_size,
                      std::size_t length, double theta, std::size_t span,
                      std::uint64_t seed) {

@@ -17,6 +17,15 @@ namespace gcaching::traces {
 Workload zipf_items(std::size_t num_items, std::size_t block_size,
                     std::size_t length, double theta, std::uint64_t seed);
 
+/// Zipf popularity with rank-scrambled item ids: popularity rank r is mapped
+/// through a seeded Fisher-Yates permutation before becoming an item id, so
+/// hot items land in uniformly random blocks instead of packing into the
+/// first few. This is the workload spatial sampling (locality/sample.hpp)
+/// is designed for — zipf_items concentrates ~theta-dependent mass in block
+/// 0, which no block-level sampler can estimate at low rates.
+Workload zipf_scramble(std::size_t num_items, std::size_t block_size,
+                       std::size_t length, double theta, std::uint64_t seed);
+
 /// Zipf-popular *blocks*; each block visit touches `span` consecutive items
 /// of the block starting at a per-visit random offset. `span = 1` gives no
 /// intra-block locality; `span = B` gives maximal.

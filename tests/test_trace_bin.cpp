@@ -1,0 +1,196 @@
+// Binary `gctrace` format (core/trace_io.hpp): round-trip fidelity and,
+// above all, LOUD failure on short or corrupt files. A binary trace that
+// silently loads shorter than it was written poisons every downstream
+// number, so the truncation error message is pinned here: it must name the
+// actual size, the expected size, the record size, and the byte offset
+// where the stream ends.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/trace_io.hpp"
+#include "traces/synthetic.hpp"
+#include "util/contracts.hpp"
+
+namespace gcaching {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+Workload small_workload() {
+  Workload w = traces::zipf_items(1024, 16, 500, 0.9, 3);
+  w.name = "bin round trip";
+  return w;
+}
+
+TEST(TraceBin, RoundTripPreservesEverything) {
+  const Workload w = small_workload();
+  const std::string path = tmp_path("roundtrip.gct");
+  save_trace_bin_file(path, w);
+
+  const TraceView view(path);
+  EXPECT_EQ(view.size(), w.trace.size());
+  EXPECT_EQ(view.num_items(), w.map->num_items());
+  EXPECT_EQ(view.block_size(), w.map->max_block_size());
+  EXPECT_EQ(view.name(), w.name);
+  ASSERT_EQ(view.accesses().size(), w.trace.size());
+  for (std::size_t i = 0; i < w.trace.size(); ++i)
+    ASSERT_EQ(view.accesses()[i], w.trace[i]) << "record " << i;
+
+  const Workload back = view.materialize();
+  EXPECT_EQ(back.trace.accesses(), w.trace.accesses());
+  EXPECT_EQ(back.name, w.name);
+  EXPECT_EQ(back.map->num_items(), w.map->num_items());
+  EXPECT_EQ(back.map->max_block_size(), w.map->max_block_size());
+}
+
+TEST(TraceBin, EmptyNameAndUnpaddedNameRoundTrip) {
+  for (const std::string& name : {std::string{}, std::string{"x"},
+                                  std::string{"exactly8"},
+                                  std::string{"nine char"}}) {
+    Workload w = small_workload();
+    w.name = name;
+    const std::string path = tmp_path("name.gct");
+    save_trace_bin_file(path, w);
+    const TraceView view(path);
+    EXPECT_EQ(view.name(), name);
+    EXPECT_EQ(view.size(), w.trace.size());
+  }
+}
+
+TEST(TraceBin, DetectsFormatByMagic) {
+  const Workload w = small_workload();
+  const std::string bin = tmp_path("detect.gct");
+  const std::string text = tmp_path("detect.gcw");
+  save_trace_bin_file(bin, w);
+  save_workload_file(text, w);
+  EXPECT_TRUE(is_trace_bin_file(bin));
+  EXPECT_FALSE(is_trace_bin_file(text));
+  EXPECT_FALSE(is_trace_bin_file(tmp_path("does-not-exist.gct")));
+}
+
+TEST(TraceBin, ExplicitPartitionsAreRejected) {
+  Workload w = small_workload();
+  std::vector<std::vector<ItemId>> blocks;
+  for (ItemId i = 0; i < 16; ++i) blocks.push_back({i});
+  w.map = std::make_shared<ExplicitBlockMap>(std::move(blocks));
+  w.trace = Trace(std::vector<ItemId>{0, 5, 3});
+  EXPECT_THROW(save_trace_bin_file(tmp_path("explicit.gct"), w),
+               ContractViolation);
+}
+
+// ---- loud corruption errors -----------------------------------------------
+
+/// Writes a valid file and returns (path, expected total size).
+std::pair<std::string, std::uint64_t> valid_file(const std::string& name) {
+  const Workload w = small_workload();
+  const std::string path = tmp_path(name);
+  save_trace_bin_file(path, w);
+  return {path, std::filesystem::file_size(path)};
+}
+
+std::string error_of(const std::string& path) {
+  try {
+    const TraceView view(path);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "TraceView(" << path << ") did not throw";
+  return {};
+}
+
+// The pinned regression: truncating mid-record must fail with a message
+// naming the byte offset where records start, the expected record size,
+// the expected and actual file sizes, and the last complete record.
+TEST(TraceBin, TruncatedMidRecordFailsWithOffsets) {
+  const auto [path, full_size] = valid_file("truncated.gct");
+  // Cut two records plus 2 bytes, landing mid-record.
+  const std::uint64_t cut_size = full_size - 2 * sizeof(ItemId) - 2;
+  std::filesystem::resize_file(path, cut_size);
+
+  const std::string msg = error_of(path);
+  EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("file is " + std::to_string(cut_size) + " bytes"),
+            std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("expected " + std::to_string(full_size)),
+            std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("x " + std::to_string(sizeof(ItemId)) + " bytes"),
+            std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("starting at byte"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("complete records"), std::string::npos) << msg;
+}
+
+TEST(TraceBin, TruncatedInsideHeaderFailsLoudly) {
+  const auto [path, full_size] = valid_file("shortheader.gct");
+  (void)full_size;
+  std::filesystem::resize_file(path, 17);
+  const std::string msg = error_of(path);
+  EXPECT_NE(msg.find("file is 17 bytes"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("40-byte gctrace header"), std::string::npos) << msg;
+}
+
+TEST(TraceBin, TrailingGarbageFailsLoudly) {
+  const auto [path, full_size] = valid_file("trailing.gct");
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    os << "junk";
+  }
+  const std::string msg = error_of(path);
+  EXPECT_NE(msg.find("trailing garbage"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("expected " + std::to_string(full_size)),
+            std::string::npos)
+      << msg;
+}
+
+TEST(TraceBin, BadMagicAndBadVersionFailLoudly) {
+  const auto [path, full_size] = valid_file("magic.gct");
+  (void)full_size;
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.write("NOPE", 4);
+  }
+  EXPECT_NE(error_of(path).find("bad magic"), std::string::npos);
+  {
+    const Workload w = small_workload();
+    save_trace_bin_file(path, w);
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(4);
+    const char v2[4] = {2, 0, 0, 0};
+    f.write(v2, 4);
+  }
+  EXPECT_NE(error_of(path).find("unsupported gctrace version 2"),
+            std::string::npos);
+}
+
+// The text loader's counterpart guarantee, pinned alongside: a declared
+// trace length longer than the data must fail, not yield a shorter trace.
+TEST(TraceBin, TextLoaderRejectsShortTrace) {
+  const std::string path = tmp_path("short.gcw");
+  {
+    std::ofstream os(path);
+    os << "gcworkload v1\n"
+       << "items 8 blocks 2 maxblock 4\n"
+       << "uniform 4\n"
+       << "trace 10\n"
+       << "0 1 2 3\n";  // only 4 of the declared 10
+  }
+  try {
+    (void)load_workload_file(path);
+    ADD_FAILURE() << "short text trace did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("shorter than declared"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace gcaching

@@ -34,6 +34,7 @@
 #include "locality/concave.hpp"
 #include "locality/mrc.hpp"
 #include "locality/poly_fit.hpp"
+#include "locality/sample.hpp"
 #include "locality/trace_stats.hpp"
 #include "locality/window_profile.hpp"
 #include "obs/obs.hpp"
@@ -109,7 +110,9 @@ class Args {
   }
 
  private:
-  static bool is_flag(const std::string& key) { return key == "progress"; }
+  static bool is_flag(const std::string& key) {
+    return key == "progress" || key == "trace-bin";
+  }
 
   std::map<std::string, std::vector<std::string>> values_;
 };
@@ -224,6 +227,9 @@ int cmd_generate(const Args& args) {
   if (kind == "zipf-items") {
     w = traces::zipf_items(args.get_u64("items", 65536), B, length,
                            args.get_f64("theta", 0.9), seed);
+  } else if (kind == "zipf-scramble") {
+    w = traces::zipf_scramble(args.get_u64("items", 65536), B, length,
+                              args.get_f64("theta", 0.9), seed);
   } else if (kind == "zipf-blocks") {
     w = traces::zipf_blocks(args.get_u64("blocks", 4096), B, length,
                             args.get_f64("theta", 0.9),
@@ -257,16 +263,29 @@ int cmd_generate(const Args& args) {
                               args.get_f64("restart", 0.001), seed);
   } else {
     std::cerr << "unknown --kind " << kind
-              << " (zipf-items|zipf-blocks|seq-scan|strided-scan|ws-phases|"
-                 "hot-item|scan-hotset|stack-distance|pointer-chase)\n";
+              << " (zipf-items|zipf-scramble|zipf-blocks|seq-scan|"
+                 "strided-scan|ws-phases|hot-item|scan-hotset|"
+                 "stack-distance|pointer-chase)\n";
     return 2;
   }
   const std::string out = args.get("out");
-  save_workload_file(out, w);
+  // `--trace-bin` writes the compact binary gctrace format (uniform
+  // partitions only; ~10x smaller and mmap-streamable) instead of text.
+  if (args.has("trace-bin"))
+    save_trace_bin_file(out, w);
+  else
+    save_workload_file(out, w);
   std::cout << "wrote " << out << ": " << w.name << " ("
             << w.trace.size() << " accesses, " << w.map->num_items()
             << " items, B = " << w.map->max_block_size() << ")\n";
   return 0;
+}
+
+/// Load a workload from either on-disk format: binary gctrace files are
+/// detected by magic and materialized; everything else parses as text.
+Workload load_any_workload(const std::string& path) {
+  if (is_trace_bin_file(path)) return TraceView(path).materialize();
+  return load_workload_file(path);
 }
 
 // `--mode fast` (default) runs the devirtualized fast-path engine;
@@ -281,7 +300,7 @@ bool use_fast_mode(const Args& args) {
 }
 
 int cmd_simulate(const Args& args) {
-  Workload w = load_workload_file(args.get("workload"));
+  Workload w = load_any_workload(args.get("workload"));
   const std::size_t capacity = args.get_u64("capacity");
   const bool fast = use_fast_mode(args);
   if (fast) w.trace.precompute_block_ids(*w.map);
@@ -330,15 +349,59 @@ int cmd_simulate(const Args& args) {
 }
 
 int cmd_sweep(const Args& args) {
+  // Sampling (--sample-rate R | --sample-size N, plus --sample-seed) runs
+  // the whole sweep on a SHARDS-style block-consistent sample: gcsim
+  // filters each workload up front — binary gctrace inputs stream through
+  // the mmap'd file, so the full trace is never materialized — and the
+  // runner scales capacities / rescales counters via spec.presampled.
+  locality::SampleConfig sample_cfg;
+  sample_cfg.rate = args.get_f64("sample-rate", 1.0);
+  sample_cfg.max_blocks = args.get_u64("sample-size", 0);
+  sample_cfg.seed = args.get_u64("sample-seed", 1);
+  const bool sampling = sample_cfg.rate < 1.0 || sample_cfg.max_blocks > 0;
+  if (sample_cfg.rate <= 0.0 || sample_cfg.rate > 1.0) {
+    std::cerr << "--sample-rate must be in (0, 1]\n";
+    return 2;
+  }
+
   std::vector<Workload> workloads;
-  for (const auto& path : args.get_all("workload"))
-    workloads.push_back(load_workload_file(path));
+  std::vector<sim::SweepSpec::Presampled> presampled;
+  for (const auto& path : args.get_all("workload")) {
+    if (!sampling) {
+      workloads.push_back(load_any_workload(path));
+      continue;
+    }
+    Workload w;
+    locality::SampledTrace s;
+    if (is_trace_bin_file(path)) {
+      const TraceView view(path);
+      s = locality::sample_view(view, sample_cfg);
+      w.map = view.make_map();
+      w.name = view.name();
+      w.trace = Trace(std::move(s.accesses));
+      w.trace.adopt_block_ids(*w.map, std::move(s.block_ids));
+    } else {
+      const Workload full = load_workload_file(path);
+      s = locality::sample_workload(full, sample_cfg);
+      w = locality::make_sampled_workload(full, std::move(s));
+    }
+    // Realized (counted) acceptance fraction, not the nominal rate — see
+    // locality::realized_rate.
+    const double rate =
+        locality::realized_rate(s.filter, w.map->num_blocks());
+    std::cerr << "sample: " << path << " kept " << w.trace.size() << "/"
+              << s.total_accesses << " accesses (" << s.sampled_blocks
+              << " blocks, rate " << rate << ")\n";
+    presampled.push_back({rate, s.total_accesses});
+    workloads.push_back(std::move(w));
+  }
   if (workloads.empty()) {
     std::cerr << "need at least one --workload\n";
     return 2;
   }
   sim::SweepSpec spec;
   spec.workloads = &workloads;
+  spec.presampled = std::move(presampled);
   spec.policy_specs = split_csv(args.get("policies"));
   spec.capacities = split_sizes(args.get("capacities"));
   spec.threads = args.get_u64("threads", 0);
@@ -625,18 +688,25 @@ int cmd_help() {
 
 subcommands:
   generate   synthesize a workload and write it to a gcworkload file
-             --kind zipf-items|zipf-blocks|seq-scan|strided-scan|ws-phases|
-                    hot-item|scan-hotset|stack-distance
-             --out FILE [--length N] [--B N] [--seed N] [kind options:
-             --items --blocks --theta --span --stride --ws --phase --hot
-             --cold --scan --p --gamma]
-  simulate   run policies over a workload file
+             --kind zipf-items|zipf-scramble|zipf-blocks|seq-scan|
+                    strided-scan|ws-phases|hot-item|scan-hotset|
+                    stack-distance|pointer-chase
+             --out FILE [--trace-bin] [--length N] [--B N] [--seed N]
+             [kind options: --items --blocks --theta --span --stride --ws
+             --phase --hot --cold --scan --p --gamma]
+             --trace-bin writes the compact binary gctrace format
+             (mmap-streamable; see docs/FORMATS.md)
+  simulate   run policies over a workload file (text or binary)
              --workload FILE --capacity N [--policy SPEC]...
              [--mode fast|verify] [--obs DIR] [--obs-window N]
   sweep      policy x capacity grid, in parallel
              --workload FILE [--workload FILE]... --policies A,B,..
              --capacities N,M,.. [--threads T] [--csv FILE]
              [--mode fast|verify] [--batch on|off] [--obs DIR] [--progress]
+             [--sample-rate R | --sample-size N] [--sample-seed S]
+             sampling sweeps a SHARDS-style hash sample of each workload
+             (block-consistent; binary inputs stream without materializing)
+             and reports rescaled full-trace estimates — see docs/PERF.md
 
 observability (GCACHING_OBS=ON builds; see docs/OBSERVABILITY.md):
   --obs DIR        write telemetry sinks into DIR: trace.json (Chrome
