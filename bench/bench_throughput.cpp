@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <chrono>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -37,7 +38,21 @@ struct Options {
   std::string json_path = "BENCH_throughput.json";
   bool quick = false;
   int repeats = 3;
+  std::vector<std::string> policies;   // empty = every factory policy
+  std::vector<std::string> workloads;  // empty = every workload
+  std::optional<std::string> compare_path;
 };
+
+void append_csv_list(std::vector<std::string>& out, const std::string& arg) {
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    const std::size_t comma = arg.find(',', start);
+    const std::size_t end = comma == std::string::npos ? arg.size() : comma;
+    if (end > start) out.push_back(arg.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+}
 
 Options parse(int argc, char** argv) {
   Options opts;
@@ -47,12 +62,20 @@ Options parse(int argc, char** argv) {
       opts.csv_dir = argv[++a];
     } else if (arg == "--json" && a + 1 < argc) {
       opts.json_path = argv[++a];
+    } else if (arg == "--policy" && a + 1 < argc) {
+      append_csv_list(opts.policies, argv[++a]);
+    } else if (arg == "--workload" && a + 1 < argc) {
+      append_csv_list(opts.workloads, argv[++a]);
+    } else if (arg == "--compare" && a + 1 < argc) {
+      opts.compare_path = argv[++a];
     } else if (arg == "--quick") {
       opts.quick = true;
       opts.repeats = 1;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
-                << " [--csv DIR] [--json PATH] [--quick]\n";
+                << " [--csv DIR] [--json PATH] [--quick]"
+                << " [--policy SPEC[,SPEC...]] [--workload NAME[,NAME...]]"
+                << " [--compare OLD.json]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
@@ -60,6 +83,11 @@ Options parse(int argc, char** argv) {
     }
   }
   return opts;
+}
+
+bool selected(const std::vector<std::string>& filter, const std::string& name) {
+  return filter.empty() ||
+         std::find(filter.begin(), filter.end(), name) != filter.end();
 }
 
 struct BenchWorkload {
@@ -105,7 +133,96 @@ double time_fast(const std::string& spec, const BenchWorkload& bw,
   return seconds_since(t0);
 }
 
-std::vector<BenchWorkload> make_workloads(bool quick) {
+/// An old BENCH_throughput.json cell, reloaded for `--compare`.
+struct OldCell {
+  std::string workload;
+  std::string policy;
+  double fast_aps = 0.0;
+};
+
+/// Pulls `"key": "value"` out of one serialized result line.
+std::optional<std::string> json_line_string(const std::string& line,
+                                            const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = line.find('"', begin);
+  if (end == std::string::npos) return std::nullopt;
+  return line.substr(begin, end - begin);
+}
+
+/// Pulls `"key": number` out of one serialized result line.
+std::optional<double> json_line_number(const std::string& line,
+                                       const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  return std::stod(line.substr(at + needle.size()));
+}
+
+/// Reads the result cells back out of a previous run's JSON. The format is
+/// our own line-per-cell serialization from write_json, so a line-oriented
+/// scan is exact — no general JSON parser needed.
+std::vector<OldCell> read_old_json(const std::string& path) {
+  std::ifstream in(path);
+  GC_REQUIRE(in.good(), "cannot open --compare file " + path);
+  std::vector<OldCell> cells;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto workload = json_line_string(line, "workload");
+    const auto policy = json_line_string(line, "policy");
+    const auto aps = json_line_number(line, "fast_accesses_per_sec");
+    if (workload && policy && aps)
+      cells.push_back({*workload, *policy, *aps});
+  }
+  GC_REQUIRE(!cells.empty(), "no result cells found in " + path);
+  return cells;
+}
+
+const OldCell* find_old(const std::vector<OldCell>& old, const Cell& cell) {
+  for (const OldCell& c : old)
+    if (c.workload == cell.workload && c.policy == cell.policy) return &c;
+  return nullptr;
+}
+
+/// Prints the per-cell fast-engine delta against a previous run: old and new
+/// accesses/sec plus the new/old ratio, so a rewrite's effect is visible
+/// without hand-diffing two JSON files.
+void print_compare(const std::string& path, const std::vector<OldCell>& old,
+                   const std::vector<Cell>& cells) {
+  std::cout << "\nfast-engine delta vs " << path << "\n";
+  std::cout << "  " << std::left << std::setw(12) << "workload"
+            << std::setw(20) << "policy" << std::right << std::setw(14)
+            << "old_acc_s" << std::setw(14) << "new_acc_s" << std::setw(10)
+            << "ratio" << "\n";
+  for (const Cell& cell : cells) {
+    const OldCell* prev = find_old(old, cell);
+    std::cout << "  " << std::left << std::setw(12) << cell.workload
+              << std::setw(20) << cell.policy << std::right;
+    if (prev == nullptr) {
+      std::cout << std::setw(14) << "-" << std::setw(14)
+                << fmti(static_cast<std::uint64_t>(cell.fast_aps()))
+                << std::setw(10) << "new" << "\n";
+      continue;
+    }
+    std::cout << std::setw(14)
+              << fmti(static_cast<std::uint64_t>(prev->fast_aps))
+              << std::setw(14)
+              << fmti(static_cast<std::uint64_t>(cell.fast_aps()))
+              << std::setw(10) << fmtr(cell.fast_aps() / prev->fast_aps)
+              << "\n";
+  }
+}
+
+std::vector<BenchWorkload> make_workloads(const Options& opts) {
+  const bool quick = opts.quick;
+  // Unselected workloads are skipped at construction time — the adversarial
+  // traces are captured by actually running the target policy, which is the
+  // expensive part a `--workload zipf` before/after loop must not pay.
+  const auto wanted = [&opts](const std::string& name) {
+    return selected(opts.workloads, name);
+  };
   std::vector<BenchWorkload> ws;
 
   const std::size_t zipf_len = quick ? 200'000 : 2'000'000;
@@ -114,13 +231,16 @@ std::vector<BenchWorkload> make_workloads(bool quick) {
   // high hit rate (~93% for item-lru): the bench then measures engine
   // overhead, not DRAM latency. Acceptance numbers in docs/PERF.md use
   // item-lru on this workload.
-  ws.push_back(
-      {"zipf", traces::zipf_items(4096, 16, zipf_len, 0.9, 42), 3072});
+  if (wanted("zipf"))
+    ws.push_back(
+        {"zipf", traces::zipf_items(4096, 16, zipf_len, 0.9, 42), 3072});
   // The memory-bound regime: a 64Ki-item universe at 6% capacity, ~47%
   // miss rate for item-lru. Both engines stall on the same random loads
   // here, so speedups are smaller — kept to show exactly that.
-  ws.push_back(
-      {"zipf-large", traces::zipf_items(65536, 16, zipf_len, 0.9, 42), 4096});
+  if (wanted("zipf-large"))
+    ws.push_back(
+        {"zipf-large", traces::zipf_items(65536, 16, zipf_len, 0.9, 42),
+         4096});
 
   // Adversarial traces are captured once against their target policy class
   // and replayed identically for every policy under test.
@@ -129,12 +249,12 @@ std::vector<BenchWorkload> make_workloads(bool quick) {
   adv.h = 256;
   adv.B = 16;
   adv.phases = quick ? 40 : 400;
-  {
+  if (wanted("adv-item")) {
     ItemLru target;
     ws.push_back({"adv-item", traces::run_item_adversary(target, adv).workload,
                   adv.k});
   }
-  {
+  if (wanted("adv-block")) {
     // Theorem 3 requires h <= ceil(k/B).
     traces::AdversaryOptions badv = adv;
     badv.h = 16;
@@ -143,10 +263,12 @@ std::vector<BenchWorkload> make_workloads(bool quick) {
     ws.push_back({"adv-block",
                   traces::run_block_adversary(target, badv).workload, badv.k});
   }
+  GC_REQUIRE(!ws.empty(), "--workload filter matched no bench workload");
   return ws;
 }
 
-void write_json(const Options& opts, const std::vector<Cell>& cells) {
+void write_json(const Options& opts, const std::vector<Cell>& cells,
+                const std::vector<OldCell>& old) {
   std::ofstream out(opts.json_path);
   GC_REQUIRE(out.good(), "cannot open " + opts.json_path + " for writing");
   out << "{\n"
@@ -154,8 +276,10 @@ void write_json(const Options& opts, const std::vector<Cell>& cells) {
       << "  \"gc_fast_sim\": " << (kHotChecksEnabled ? "false" : "true")
       << ",\n"
       << "  \"quick\": " << (opts.quick ? "true" : "false") << ",\n"
-      << "  \"repeats\": " << opts.repeats << ",\n"
-      << "  \"results\": [\n";
+      << "  \"repeats\": " << opts.repeats << ",\n";
+  if (opts.compare_path)
+    out << "  \"compare\": \"" << *opts.compare_path << "\",\n";
+  out << "  \"results\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
     out << "    {\"workload\": \"" << c.workload << "\", \"policy\": \""
@@ -164,9 +288,14 @@ void write_json(const Options& opts, const std::vector<Cell>& cells) {
         << ", \"fast_seconds\": " << c.fast_s
         << ", \"verify_accesses_per_sec\": " << c.verify_aps()
         << ", \"fast_accesses_per_sec\": " << c.fast_aps()
-        << ", \"speedup\": " << c.speedup() << ", \"misses\": "
-        << c.stats.misses << "}" << (i + 1 < cells.size() ? "," : "")
-        << "\n";
+        << ", \"speedup\": " << c.speedup();
+    // With --compare, embed the before/after so the committed JSON carries
+    // the baseline a rewrite was measured against, not just the new number.
+    if (const OldCell* prev = find_old(old, c))
+      out << ", \"baseline_fast_accesses_per_sec\": " << prev->fast_aps
+          << ", \"vs_baseline\": " << c.fast_aps() / prev->fast_aps;
+    out << ", \"misses\": " << c.stats.misses << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
 }
@@ -177,7 +306,15 @@ int run(int argc, char** argv) {
   table_opts.csv_dir = opts.csv_dir;
   table_opts.quick = opts.quick;
 
-  std::vector<BenchWorkload> workloads = make_workloads(opts.quick);
+  std::vector<std::string> specs;
+  for (const std::string& spec : known_policy_names())
+    if (selected(opts.policies, spec)) specs.push_back(spec);
+  // A filter naming no factory policy is a typo, not an empty bench.
+  for (const std::string& spec : opts.policies)
+    GC_REQUIRE(std::find(specs.begin(), specs.end(), spec) != specs.end(),
+               "--policy " + spec + " is not a factory policy name");
+
+  std::vector<BenchWorkload> workloads = make_workloads(opts);
   // Shared per-workload block ids: resolved once, reused by every fast run.
   for (BenchWorkload& bw : workloads)
     bw.workload.trace.precompute_block_ids(*bw.workload.map);
@@ -190,7 +327,7 @@ int run(int argc, char** argv) {
   std::vector<Cell> cells;
   for (const BenchWorkload& bw : workloads) {
     if (!cells.empty()) table.add_separator();
-    for (const std::string& spec : known_policy_names()) {
+    for (const std::string& spec : specs) {
       Cell cell;
       cell.workload = bw.name;
       cell.policy = spec;
@@ -214,7 +351,12 @@ int run(int argc, char** argv) {
     }
   }
   table.flush();
-  write_json(opts, cells);
+  std::vector<OldCell> old;
+  if (opts.compare_path) {
+    old = read_old_json(*opts.compare_path);
+    print_compare(*opts.compare_path, old, cells);
+  }
+  write_json(opts, cells, old);
   std::cout << "wrote " << opts.json_path << "\n";
   return 0;
 }

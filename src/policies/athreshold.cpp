@@ -14,91 +14,18 @@ void AThreshold::attach(const BlockMap& map, CacheContents& cache) {
   set_attachment(map, cache);
   GC_REQUIRE(cache.capacity() >= map.max_block_size(),
              "a-threshold needs capacity >= B to take whole blocks");
-  lru_ = std::make_unique<IndexedList>(map.num_items());
+  geom_.build(map);
+  lru_ = IndexedList(map.num_items());
   distinct_in_episode_.assign(map.num_blocks(), 0);
   residents_.assign(map.num_blocks(), 0);
-  counted_.assign(map.num_items(), false);
-}
-
-void AThreshold::note_access(ItemId item) {
-  if (counted_[item]) return;
-  counted_[item] = true;
-  ++distinct_in_episode_[map().block_of(item)];
-}
-
-void AThreshold::note_eviction(ItemId item) {
-  const BlockId block = map().block_of(item);
-  GC_CHECK(residents_[block] > 0, "resident count underflow");
-  if (--residents_[block] == 0) {
-    // Episode over: the block left the cache entirely; forget its history
-    // so the next encounter must re-earn the whole-block load.
-    distinct_in_episode_[block] = 0;
-    for (ItemId member : map().items_of(block)) counted_[member] = false;
-  }
-}
-
-void AThreshold::evict_lru_avoiding(BlockId protect) {
-  // Scan from the LRU end for a victim outside the protected block; fall
-  // back to the plain LRU victim if the cache holds only protected items.
-  ItemId victim = kInvalidItem;
-  lru_->for_each_from_lru([&](ItemId candidate) {
-    if (map().block_of(candidate) != protect) {
-      victim = candidate;
-      return false;  // stop scan
-    }
-    return true;
-  });
-  if (victim == kInvalidItem) victim = lru_->back();
-  lru_->remove(victim);
-  cache().evict(victim);
-  note_eviction(victim);
-}
-
-void AThreshold::load_rest_of_block(BlockId block) {
-  bool loaded_any = false;
-  for (ItemId sibling : map().items_of(block)) {
-    if (cache().contains(sibling)) continue;
-    if (cache().full()) evict_lru_avoiding(block);
-    if (cache().full()) break;  // only this block's items remain resident
-    cache().load(sibling);
-    lru_->push_front(sibling);
-    ++residents_[block];
-    loaded_any = true;
-  }
-  (void)loaded_any;
-}
-
-void AThreshold::on_hit(ItemId item) {
-  lru_->move_to_front(item);
-  note_access(item);
-}
-
-void AThreshold::on_miss(ItemId item) {
-  const BlockId block = map().block_of(item);
-  // Plain LRU eviction for the requested load (so a >= B degenerates to
-  // exactly ItemLru); the own-block protection only applies to the
-  // whole-block load below.
-  if (cache().full()) {
-    const ItemId victim = lru_->pop_back();
-    cache().evict(victim);
-    note_eviction(victim);
-  }
-  cache().load(item);
-  lru_->push_front(item);
-  ++residents_[block];
-  note_access(item);
-
-  if (distinct_in_episode_[block] >= a_) {
-    load_rest_of_block(block);
-    lru_->move_to_front(item);  // the requested item stays most recent
-  }
+  counted_.assign(map.num_items(), 0);
 }
 
 void AThreshold::reset() {
-  if (lru_) lru_->clear();
+  lru_.clear();
   distinct_in_episode_.assign(distinct_in_episode_.size(), 0);
   residents_.assign(residents_.size(), 0);
-  counted_.assign(counted_.size(), false);
+  counted_.assign(counted_.size(), 0);
 }
 
 std::string AThreshold::name() const {

@@ -30,27 +30,6 @@ void FurthestQueue::clear() {
   active_.assign(active_.size(), false);
 }
 
-void FurthestQueue::update(std::uint32_t key, std::uint64_t next_use) {
-  current_[key] = next_use;
-  active_[key] = true;
-  heap_.push(Entry{next_use, key});
-}
-
-void FurthestQueue::deactivate(std::uint32_t key) { active_[key] = false; }
-
-std::uint32_t FurthestQueue::pop_furthest() {
-  while (!heap_.empty()) {
-    const Entry top = heap_.top();
-    heap_.pop();
-    if (active_[top.key] && current_[top.key] == top.next_use) {
-      active_[top.key] = false;
-      return top.key;
-    }
-  }
-  GC_CHECK(false, "pop_furthest on empty queue");
-  return 0;  // unreachable
-}
-
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
@@ -68,14 +47,8 @@ void BeladyItem::prepare(const Trace& trace) {
   prepared_ = true;
 }
 
-void BeladyItem::on_hit(ItemId item) {
-  GC_REQUIRE(prepared_, "Belady requires prepare(trace)");
-  queue_.update(item, index_.next_after(pos_));
-  ++pos_;
-}
-
 void BeladyItem::on_miss(ItemId item) {
-  GC_REQUIRE(prepared_, "Belady requires prepare(trace)");
+  GC_HOT_REQUIRE(prepared_, "Belady requires prepare(trace)");
   if (cache().full()) {
     const ItemId victim = queue_.pop_furthest();
     cache().evict(victim);
@@ -110,14 +83,8 @@ void BeladyBlock::prepare(const Trace& trace) {
   prepared_ = true;
 }
 
-void BeladyBlock::on_hit(ItemId item) {
-  GC_REQUIRE(prepared_, "Belady requires prepare(trace)");
-  queue_.update(map().block_of(item), block_index_.next_after(pos_));
-  ++pos_;
-}
-
 void BeladyBlock::on_miss(ItemId item) {
-  GC_REQUIRE(prepared_, "Belady requires prepare(trace)");
+  GC_HOT_REQUIRE(prepared_, "Belady requires prepare(trace)");
   const BlockId block = map().block_of(item);
   GC_CHECK(cache().residents_of_block(block) == 0,
            "block-granularity invariant broken");
@@ -156,30 +123,8 @@ void BeladyGreedyGc::prepare(const Trace& trace) {
   prepared_ = true;
 }
 
-std::uint64_t BeladyGreedyGc::next_use_of(ItemId item) const {
-  // First occurrence strictly after the current position; cursors only move
-  // forward so the scan is amortized O(1) per occurrence.
-  const auto& occ = occurrences_[item];
-  std::size_t c = occ_cursor_[item];
-  while (c < occ.size() && occ[c] <= pos_) ++c;
-  return c < occ.size() ? occ[c] : detail::NextUseIndex::kNever;
-}
-
-void BeladyGreedyGc::advance_cursors(ItemId accessed) {
-  auto& c = occ_cursor_[accessed];
-  const auto& occ = occurrences_[accessed];
-  while (c < occ.size() && occ[c] <= pos_) ++c;
-}
-
-void BeladyGreedyGc::on_hit(ItemId item) {
-  GC_REQUIRE(prepared_, "BeladyGreedyGc requires prepare(trace)");
-  queue_.update(item, item_index_.next_after(pos_));
-  ++pos_;
-  advance_cursors(item);
-}
-
 void BeladyGreedyGc::on_miss(ItemId item) {
-  GC_REQUIRE(prepared_, "BeladyGreedyGc requires prepare(trace)");
+  GC_HOT_REQUIRE(prepared_, "BeladyGreedyGc requires prepare(trace)");
   const BlockId block = map().block_of(item);
   // 1. The requested item itself: evict the globally-furthest item if full.
   if (cache().full()) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/policy.hpp"
+#include "util/contracts.hpp"
 
 namespace gcaching {
 
@@ -44,16 +45,36 @@ class NextUseIndex {
 };
 
 /// Lazy max-heap of (next_use, key) with O(log n) amortized eviction choice.
+///
+/// The mutators are header-inline: update() runs once per *access* inside
+/// the fast engines' loop, and an out-of-line call per access costs more
+/// than the push itself (see docs/PERF.md).
 class FurthestQueue {
  public:
   void init(std::size_t key_universe);
   void clear();
 
-  void update(std::uint32_t key, std::uint64_t next_use);
-  void deactivate(std::uint32_t key);
+  void update(std::uint32_t key, std::uint64_t next_use) {
+    current_[key] = next_use;
+    active_[key] = true;
+    heap_.push(Entry{next_use, key});
+  }
+
+  void deactivate(std::uint32_t key) { active_[key] = false; }
 
   /// Pops and returns the active key with the maximum next_use.
-  std::uint32_t pop_furthest();
+  std::uint32_t pop_furthest() {
+    while (!heap_.empty()) {
+      const Entry top = heap_.top();
+      heap_.pop();
+      if (active_[top.key] && current_[top.key] == top.next_use) {
+        active_[top.key] = false;
+        return top.key;
+      }
+    }
+    GC_CHECK(false, "pop_furthest on empty queue");
+    return 0;  // unreachable
+  }
 
  private:
   struct Entry {
@@ -79,10 +100,15 @@ class BeladyItem final : public ReplacementPolicy {
 
   void attach(const BlockMap& map, CacheContents& cache) override;
   void prepare(const Trace& trace) override;
-  void on_hit(ItemId item) override;
   void on_miss(ItemId item) override;
   void reset() override;
   std::string name() const override { return "belady-item"; }
+
+  void on_hit(ItemId item) override {
+    GC_HOT_REQUIRE(prepared_, "Belady requires prepare(trace)");
+    queue_.update(item, index_.next_after(pos_));
+    ++pos_;
+  }
 
  private:
   detail::NextUseIndex index_;
@@ -98,10 +124,15 @@ class BeladyBlock final : public ReplacementPolicy {
 
   void attach(const BlockMap& map, CacheContents& cache) override;
   void prepare(const Trace& trace) override;
-  void on_hit(ItemId item) override;
   void on_miss(ItemId item) override;
   void reset() override;
   std::string name() const override { return "belady-block"; }
+
+  void on_hit(ItemId item) override {
+    GC_HOT_REQUIRE(prepared_, "Belady requires prepare(trace)");
+    queue_.update(map().block_of(item), block_index_.next_after(pos_));
+    ++pos_;
+  }
 
  private:
   detail::NextUseIndex block_index_;  // keyed by block id
@@ -120,10 +151,16 @@ class BeladyGreedyGc final : public ReplacementPolicy {
 
   void attach(const BlockMap& map, CacheContents& cache) override;
   void prepare(const Trace& trace) override;
-  void on_hit(ItemId item) override;
   void on_miss(ItemId item) override;
   void reset() override;
   std::string name() const override { return "belady-greedy-gc"; }
+
+  void on_hit(ItemId item) override {
+    GC_HOT_REQUIRE(prepared_, "BeladyGreedyGc requires prepare(trace)");
+    queue_.update(item, item_index_.next_after(pos_));
+    ++pos_;
+    advance_cursors(item);
+  }
 
  private:
   detail::NextUseIndex item_index_;
@@ -134,8 +171,20 @@ class BeladyGreedyGc final : public ReplacementPolicy {
   std::size_t pos_ = 0;
   bool prepared_ = false;
 
-  std::uint64_t next_use_of(ItemId item) const;
-  void advance_cursors(ItemId accessed);
+  std::uint64_t next_use_of(ItemId item) const {
+    // First occurrence strictly after the current position; cursors only
+    // move forward so the scan is amortized O(1) per occurrence.
+    const auto& occ = occurrences_[item];
+    std::size_t c = occ_cursor_[item];
+    while (c < occ.size() && occ[c] <= pos_) ++c;
+    return c < occ.size() ? occ[c] : detail::NextUseIndex::kNever;
+  }
+
+  void advance_cursors(ItemId accessed) {
+    auto& c = occ_cursor_[accessed];
+    const auto& occ = occurrences_[accessed];
+    while (c < occ.size() && occ[c] <= pos_) ++c;
+  }
 };
 
 }  // namespace gcaching

@@ -12,103 +12,20 @@ void FootprintCache::attach(const BlockMap& map, CacheContents& cache) {
              "footprint bitmasks support blocks of up to 64 items");
   GC_REQUIRE(cache.capacity() >= map.max_block_size(),
              "footprint cache needs capacity >= B for cold block loads");
-  lru_ = std::make_unique<IndexedList>(map.num_items());
+  geom_.build(map);
+  lru_ = IndexedList(map.num_items());
   footprint_.assign(map.num_blocks(), 0);
   live_footprint_.assign(map.num_blocks(), 0);
   residents_.assign(map.num_blocks(), 0);
-  has_history_.assign(map.num_blocks(), false);
-}
-
-std::uint64_t FootprintCache::position_bit(ItemId item) const {
-  const BlockId block = map().block_of(item);
-  const auto items = map().items_of(block);
-  for (std::size_t j = 0; j < items.size(); ++j)
-    if (items[j] == item) return std::uint64_t{1} << j;
-  GC_CHECK(false, "item not found in its own block");
-  return 0;
-}
-
-void FootprintCache::touch(ItemId item) {
-  live_footprint_[map().block_of(item)] |= position_bit(item);
-}
-
-void FootprintCache::note_eviction(ItemId item) {
-  const BlockId block = map().block_of(item);
-  GC_CHECK(residents_[block] > 0, "resident count underflow");
-  if (--residents_[block] == 0) {
-    // Episode complete: commit the touched set as the block's footprint.
-    footprint_[block] = live_footprint_[block];
-    has_history_[block] = true;
-    live_footprint_[block] = 0;
-  }
-}
-
-void FootprintCache::evict_one(BlockId protect) {
-  // Prefer a victim outside the block being served (avoids churn while
-  // loading a footprint); fall back to the global LRU victim.
-  ItemId victim = kInvalidItem;
-  lru_->for_each_from_lru([&](ItemId candidate) {
-    if (map().block_of(candidate) != protect) {
-      victim = candidate;
-      return false;
-    }
-    return true;
-  });
-  if (victim == kInvalidItem) victim = lru_->back();
-  lru_->remove(victim);
-  cache().evict(victim);
-  note_eviction(victim);
-}
-
-void FootprintCache::on_hit(ItemId item) {
-  lru_->move_to_front(item);
-  touch(item);
-}
-
-void FootprintCache::on_miss(ItemId item) {
-  const BlockId block = map().block_of(item);
-  const auto items = map().items_of(block);
-
-  // Predicted subset for this episode.
-  std::uint64_t predicted;
-  if (has_history_[block]) {
-    predicted = footprint_[block];
-  } else {
-    predicted = cold_whole_block_
-                    ? (items.size() == 64
-                           ? ~std::uint64_t{0}
-                           : (std::uint64_t{1} << items.size()) - 1)
-                    : 0;
-  }
-  predicted |= position_bit(item);  // the request itself always loads
-
-  // Load the requested item first, then the rest of the prediction.
-  if (cache().full()) evict_one(block);
-  cache().load(item);
-  lru_->push_front(item);
-  ++residents_[block];
-  touch(item);
-
-  for (std::size_t j = 0; j < items.size(); ++j) {
-    if ((predicted & (std::uint64_t{1} << j)) == 0) continue;
-    const ItemId member = items[j];
-    if (cache().contains(member)) continue;
-    if (cache().full()) evict_one(block);
-    if (cache().full()) break;  // only this block's items remain resident
-    cache().load(member);
-    lru_->push_front(member);
-    ++residents_[block];
-  }
-  // Keep the requested item most recent.
-  lru_->move_to_front(item);
+  has_history_.assign(map.num_blocks(), 0);
 }
 
 void FootprintCache::reset() {
-  if (lru_) lru_->clear();
+  lru_.clear();
   footprint_.assign(footprint_.size(), 0);
   live_footprint_.assign(live_footprint_.size(), 0);
   residents_.assign(residents_.size(), 0);
-  has_history_.assign(has_history_.size(), false);
+  has_history_.assign(has_history_.size(), 0);
 }
 
 std::string FootprintCache::name() const {

@@ -16,30 +16,106 @@
 // blocks with stable dense footprints, ~B for blocks that keep changing —
 // which is exactly what the paper's framework says a practical design
 // should try to buy.
+//
+// Data-oriented layout: all block geometry goes through a FlatBlockIndex
+// (no virtual BlockMap calls on the hot path — the old implementation's
+// `position_bit` linearly scanned the member list per touch), and the
+// per-access callbacks are defined inline so `simulate_fast` folds them
+// into its loop.
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/policy.hpp"
+#include "policies/block_geometry.hpp"
 #include "policies/lru_list.hpp"
+#include "util/contracts.hpp"
 
 namespace gcaching {
 
 class FootprintCache final : public ReplacementPolicy {
  public:
+  /// A run of hits never changes residency, so the engines may hand a whole
+  /// same-block stretch to on_hit_run in one call (see simulate_fast).
+  // GCLINT-TRAIT-CHECKED-BY: fast_hit_run
+  static constexpr bool kBatchesSameBlockRuns = true;
+
   /// `cold_whole_block`: what to load for a block with no recorded history
   /// (true = whole block, the Footprint Cache default; false = item only).
   explicit FootprintCache(bool cold_whole_block = true)
       : cold_whole_block_(cold_whole_block) {}
 
   void attach(const BlockMap& map, CacheContents& cache) override;
-  void on_hit(ItemId item) override;
-  void on_miss(ItemId item) override;
   void reset() override;
   std::string name() const override;
+
+  // The per-access callbacks are defined inline so `simulate_fast` folds
+  // them into its loop.
+  void on_hit(ItemId item) override {
+    lru_.move_to_front(item);
+    live_footprint_[geom_.block_of(item)] |= geom_.bit_of(item);
+  }
+
+  void on_miss(ItemId item) override {
+    const BlockId block = geom_.block_of(item);
+    const std::span<const ItemId> items = geom_.items_of(block);
+
+    // Predicted subset for this episode.
+    std::uint64_t predicted;
+    if (has_history_[block] != 0) {
+      predicted = footprint_[block];
+    } else {
+      predicted = cold_whole_block_
+                      ? (items.size() == 64
+                             ? ~std::uint64_t{0}
+                             : (std::uint64_t{1} << items.size()) - 1)
+                      : 0;
+    }
+    predicted |= geom_.bit_of(item);  // the request itself always loads
+
+    // Load the requested item first, then the rest of the prediction.
+    if (cache().full()) evict_one(block);
+    cache().load(item);
+    lru_.push_front(item);
+    ++residents_[block];
+    live_footprint_[block] |= geom_.bit_of(item);
+
+    for (std::size_t j = 0; j < items.size(); ++j) {
+      if ((predicted & (std::uint64_t{1} << j)) == 0) continue;
+      const ItemId member = items[j];
+      if (cache().contains(member)) continue;
+      if (cache().full()) evict_one(block);
+      if (cache().full()) break;  // only this block's items remain resident
+      cache().load(member);
+      lru_.push_front(member);
+      ++residents_[block];
+    }
+    // Keep the requested item most recent.
+    lru_.move_to_front(item);
+  }
+
+  /// Batched hits: the touched set distributes over the run (one OR of the
+  /// accumulated position bits), and the final recency order is the span's
+  /// distinct items by *last* occurrence — collected in one reverse scan
+  /// (the position bitmask doubles as the dedupe set; attach REQUIREs
+  /// blocks of <= 64 items) and replayed as move_to_fronts. Equivalent to
+  /// calling on_hit per access in order.
+  void on_hit_run(std::span<const ItemId> items, BlockId block) {
+    std::uint64_t bits = 0;
+    ItemId order[64];  // distinct items, most-recent first
+    std::size_t n = 0;
+    for (std::size_t i = items.size(); i-- > 0;) {
+      const std::uint64_t bit = geom_.bit_of(items[i]);
+      if ((bits & bit) != 0) continue;
+      bits |= bit;
+      order[n++] = items[i];
+    }
+    live_footprint_[block] |= bits;
+    while (n-- > 0) lru_.move_to_front(order[n]);
+  }
 
   /// Recorded footprint of `block` from its last completed residency
   /// episode (bitmask over the block's item positions); 0 if none.
@@ -51,17 +127,38 @@ class FootprintCache final : public ReplacementPolicy {
   bool residents_consistent() const;
 
  private:
-  bool cold_whole_block_;
-  std::unique_ptr<IndexedList> lru_;            // item recency
-  std::vector<std::uint64_t> footprint_;        // per block: last episode
-  std::vector<std::uint64_t> live_footprint_;   // per block: current episode
-  std::vector<std::uint32_t> residents_;        // per block
-  std::vector<bool> has_history_;               // block ever completed
+  void evict_one(BlockId protect) {
+    // Prefer a victim outside the block being served (avoids churn while
+    // loading a footprint); fall back to the global LRU victim.
+    ItemId victim = kInvalidItem;
+    lru_.for_each_from_lru([&](ItemId candidate) {
+      if (geom_.block_of(candidate) != protect) {
+        victim = candidate;
+        return false;
+      }
+      return true;
+    });
+    if (victim == kInvalidItem) victim = lru_.back();
+    lru_.remove(victim);
+    cache().evict(victim);
+    // Episode bookkeeping: when the block empties, commit the touched set
+    // as its footprint.
+    const BlockId block = geom_.block_of(victim);
+    GC_HOT_CHECK(residents_[block] > 0, "resident count underflow");
+    if (--residents_[block] == 0) {
+      footprint_[block] = live_footprint_[block];
+      has_history_[block] = 1;
+      live_footprint_[block] = 0;
+    }
+  }
 
-  std::uint64_t position_bit(ItemId item) const;
-  void touch(ItemId item);
-  void evict_one(BlockId protect);
-  void note_eviction(ItemId item);
+  bool cold_whole_block_;
+  FlatBlockIndex geom_;
+  IndexedList lru_{0};                         // item recency
+  std::vector<std::uint64_t> footprint_;       // per block: last episode
+  std::vector<std::uint64_t> live_footprint_;  // per block: current episode
+  std::vector<std::uint32_t> residents_;       // per block
+  std::vector<std::uint8_t> has_history_;      // block ever completed
 };
 
 }  // namespace gcaching

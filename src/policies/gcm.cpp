@@ -22,62 +22,6 @@ void MarkPools::clear() {
   state_.assign(state_.size(), State::kAbsent);
 }
 
-void MarkPools::pool_add(std::vector<ItemId>& pool, ItemId item) {
-  slot_[item] = static_cast<std::uint32_t>(pool.size());
-  pool.push_back(item);
-}
-
-void MarkPools::pool_remove(std::vector<ItemId>& pool, ItemId item) {
-  const std::uint32_t s = slot_[item];
-  GC_CHECK(s < pool.size() && pool[s] == item, "pool slot corrupted");
-  const ItemId last = pool.back();
-  pool[s] = last;
-  slot_[last] = s;
-  pool.pop_back();
-  slot_[item] = std::numeric_limits<std::uint32_t>::max();
-}
-
-void MarkPools::add(ItemId item, bool do_mark) {
-  GC_REQUIRE(state_[item] == State::kAbsent, "item already tracked");
-  if (do_mark) {
-    pool_add(marked_, item);
-    state_[item] = State::kMarked;
-  } else {
-    pool_add(unmarked_, item);
-    state_[item] = State::kUnmarked;
-  }
-}
-
-void MarkPools::remove(ItemId item) {
-  GC_REQUIRE(state_[item] != State::kAbsent, "item not tracked");
-  if (state_[item] == State::kMarked)
-    pool_remove(marked_, item);
-  else
-    pool_remove(unmarked_, item);
-  state_[item] = State::kAbsent;
-}
-
-void MarkPools::mark(ItemId item) {
-  GC_REQUIRE(state_[item] != State::kAbsent, "item not tracked");
-  if (state_[item] == State::kMarked) return;
-  pool_remove(unmarked_, item);
-  pool_add(marked_, item);
-  state_[item] = State::kMarked;
-}
-
-ItemId MarkPools::random_unmarked(SplitMix64& rng) const {
-  GC_REQUIRE(!unmarked_.empty(), "no unmarked item to pick");
-  return unmarked_[rng.below(unmarked_.size())];
-}
-
-void MarkPools::unmark_all() {
-  for (ItemId it : marked_) {
-    state_[it] = State::kUnmarked;
-    pool_add(unmarked_, it);
-  }
-  marked_.clear();
-}
-
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
@@ -86,49 +30,8 @@ void MarkPools::unmark_all() {
 
 void Gcm::attach(const BlockMap& map, CacheContents& cache) {
   set_attachment(map, cache);
+  geom_.build(map);
   pools_.init(map.num_items());
-}
-
-void Gcm::on_hit(ItemId item) { pools_.mark(item); }
-
-void Gcm::make_room_for_request() {
-  if (!cache().full()) return;
-  if (pools_.num_unmarked() == 0) pools_.unmark_all();  // new phase
-  const ItemId victim = pools_.random_unmarked(rng_);
-  pools_.remove(victim);
-  cache().evict(victim);
-}
-
-void Gcm::on_miss(ItemId item) {
-  const BlockId block = map().block_of(item);
-
-  // 1. Bring in the requested item, marked.
-  make_room_for_request();
-  cache().load(item);
-  pools_.add(item, /*mark=*/true);
-
-  // 2. Side-load the rest of the block, unmarked. Free space is used first;
-  //    after that, unmarked residents outside this block are replaced by
-  //    block items (the Section 6.1 special case). Marked items are never
-  //    displaced by side-loads, and we never start a new phase for one.
-  std::size_t sideloaded = 0;
-  for (ItemId sibling : map().items_of(block)) {
-    if (max_sideload_ != 0 && sideloaded >= max_sideload_) break;
-    if (cache().contains(sibling)) continue;
-    if (cache().full()) {
-      if (pools_.num_unmarked() == 0) break;  // only marked items remain
-      const ItemId victim = pools_.random_unmarked(rng_);
-      // Unmarked residents from this very block are exactly the items we
-      // just side-loaded; replacing them with other block items is churn
-      // with no benefit, so stop instead.
-      if (map().block_of(victim) == block) break;
-      pools_.remove(victim);
-      cache().evict(victim);
-    }
-    cache().load(sibling);
-    pools_.add(sibling, /*mark=*/false);
-    ++sideloaded;
-  }
 }
 
 void Gcm::reset() {
@@ -150,19 +53,6 @@ void MarkingItem::attach(const BlockMap& map, CacheContents& cache) {
   pools_.init(map.num_items());
 }
 
-void MarkingItem::on_hit(ItemId item) { pools_.mark(item); }
-
-void MarkingItem::on_miss(ItemId item) {
-  if (cache().full()) {
-    if (pools_.num_unmarked() == 0) pools_.unmark_all();
-    const ItemId victim = pools_.random_unmarked(rng_);
-    pools_.remove(victim);
-    cache().evict(victim);
-  }
-  cache().load(item);
-  pools_.add(item, /*mark=*/true);
-}
-
 void MarkingItem::reset() {
   pools_.clear();
   rng_ = SplitMix64(seed_);
@@ -176,46 +66,8 @@ void MarkingBlockMark::attach(const BlockMap& map, CacheContents& cache) {
   set_attachment(map, cache);
   GC_REQUIRE(cache.capacity() >= map.max_block_size(),
              "mark-all marking needs capacity >= B");
+  geom_.build(map);
   pools_.init(map.num_items());
-}
-
-void MarkingBlockMark::on_hit(ItemId item) { pools_.mark(item); }
-
-void MarkingBlockMark::evict_one(ItemId keep) {
-  // Pick a random unmarked victim, starting a new phase if none exist.
-  // The requested item `keep` is never chosen (it could become unmarked by
-  // a phase change happening mid-load).
-  if (pools_.num_unmarked() == 0 ||
-      (pools_.num_unmarked() == 1 && cache().contains(keep) &&
-       !pools_.marked(keep) && pools_.resident(keep))) {
-    pools_.unmark_all();
-  }
-  for (;;) {
-    const ItemId victim = pools_.random_unmarked(rng_);
-    if (victim == keep) continue;  // at least one other unmarked item exists
-    pools_.remove(victim);
-    cache().evict(victim);
-    return;
-  }
-}
-
-void MarkingBlockMark::on_miss(ItemId item) {
-  const BlockId block = map().block_of(item);
-  // Load the requested item first (so it is resident and protected from the
-  // victim picker), then greedily mark-load the rest of the block.
-  if (cache().full()) evict_one(item);
-  cache().load(item);
-  pools_.add(item, /*mark=*/true);
-  for (ItemId member : map().items_of(block)) {
-    if (cache().contains(member)) {
-      pools_.mark(member);
-      continue;
-    }
-    if (cache().full()) evict_one(item);
-    cache().load(member);
-    pools_.add(member, /*mark=*/true);
-  }
-  GC_ENSURE(cache().contains(item), "requested item must be loaded");
 }
 
 void MarkingBlockMark::reset() {

@@ -1,133 +1,21 @@
 #include "policies/item_lfu.hpp"
 
-#include "util/contracts.hpp"
-
 namespace gcaching {
 
 void ItemLfu::attach(const BlockMap& map, CacheContents& cache) {
   set_attachment(map, cache);
-  nodes_.clear();
-  free_nodes_.clear();
-  head_node_ = kNoNode;
-  item_prev_.assign(map.num_items(), kNoItem);
-  item_next_.assign(map.num_items(), kNoItem);
-  node_of_.assign(map.num_items(), kNoNode);
-  tie_of_.assign(map.num_items(), 0);
+  state_of_.assign(map.num_items(), ItemState{});
+  fifo_.clear();
+  fifo_head_ = 0;
+  heap_.clear();
   next_tie_ = 0;
 }
 
-std::uint32_t ItemLfu::alloc_node(std::uint64_t freq) {
-  std::uint32_t idx;
-  if (!free_nodes_.empty()) {
-    idx = free_nodes_.back();
-    free_nodes_.pop_back();
-  } else {
-    idx = static_cast<std::uint32_t>(nodes_.size());
-    nodes_.emplace_back();
-  }
-  nodes_[idx] = FreqNode{};
-  nodes_[idx].freq = freq;
-  return idx;
-}
-
-void ItemLfu::detach_item(ItemId item) {
-  const std::uint32_t n = node_of_[item];
-  FreqNode& node = nodes_[n];
-  const ItemId p = item_prev_[item];
-  const ItemId q = item_next_[item];
-  if (p == kNoItem) node.head = q; else item_next_[p] = q;
-  if (q == kNoItem) node.tail = p; else item_prev_[q] = p;
-  if (node.head == kNoItem) {
-    if (node.prev == kNoNode) head_node_ = node.next;
-    else nodes_[node.prev].next = node.next;
-    if (node.next != kNoNode) nodes_[node.next].prev = node.prev;
-    free_nodes_.push_back(n);
-  }
-}
-
-void ItemLfu::append_item(std::uint32_t n, ItemId item) {
-  FreqNode& node = nodes_[n];
-  item_prev_[item] = node.tail;
-  item_next_[item] = kNoItem;
-  if (node.tail == kNoItem) node.head = item;
-  else item_next_[node.tail] = item;
-  node.tail = item;
-}
-
-void ItemLfu::insert_sorted(std::uint32_t n, ItemId item) {
-  // Bucket members stay in ascending tie order; promotions can arrive out
-  // of order, so scan backwards from the tail for the insertion point.
-  FreqNode& node = nodes_[n];
-  ItemId after = node.tail;
-  while (after != kNoItem && tie_of_[after] > tie_of_[item])
-    after = item_prev_[after];
-  const ItemId before = after == kNoItem ? node.head : item_next_[after];
-  item_prev_[item] = after;
-  item_next_[item] = before;
-  if (after == kNoItem) node.head = item;
-  else item_next_[after] = item;
-  if (before == kNoItem) node.tail = item;
-  else item_prev_[before] = item;
-}
-
-void ItemLfu::on_hit(ItemId item) {
-  const std::uint32_t n = node_of_[item];
-  GC_CHECK(n != kNoNode, "LFU hit on untracked item");
-  const std::uint64_t new_freq = nodes_[n].freq + 1;
-  const std::uint32_t succ = nodes_[n].next;
-  if (succ != kNoNode && nodes_[succ].freq == new_freq) {
-    detach_item(item);  // may free bucket n; succ is unaffected
-    insert_sorted(succ, item);
-    node_of_[item] = succ;
-    return;
-  }
-  if (nodes_[n].head == item && nodes_[n].tail == item) {
-    // Sole member and no bucket at new_freq yet: bump the bucket in place
-    // (its list position stays valid — the successor's frequency exceeds
-    // new_freq).
-    nodes_[n].freq = new_freq;
-    return;
-  }
-  const std::uint32_t fresh = alloc_node(new_freq);
-  nodes_[fresh].prev = n;
-  nodes_[fresh].next = succ;
-  nodes_[n].next = fresh;
-  if (succ != kNoNode) nodes_[succ].prev = fresh;
-  detach_item(item);  // bucket n keeps other members, so it survives
-  append_item(fresh, item);
-  node_of_[item] = fresh;
-}
-
-void ItemLfu::on_miss(ItemId item) {
-  if (cache().full()) {
-    GC_CHECK(head_node_ != kNoNode, "full cache but empty LFU order");
-    const ItemId victim = nodes_[head_node_].head;
-    detach_item(victim);
-    node_of_[victim] = kNoNode;
-    cache().evict(victim);
-  }
-  cache().load(item);
-  tie_of_[item] = next_tie_++;
-  std::uint32_t target = head_node_;
-  if (target == kNoNode || nodes_[target].freq != 1) {
-    target = alloc_node(1);
-    nodes_[target].next = head_node_;
-    if (head_node_ != kNoNode) nodes_[head_node_].prev = target;
-    head_node_ = target;
-  }
-  // Ties are handed out monotonically, so appending keeps bucket 1 sorted.
-  append_item(target, item);
-  node_of_[item] = target;
-}
-
 void ItemLfu::reset() {
-  nodes_.clear();
-  free_nodes_.clear();
-  head_node_ = kNoNode;
-  item_prev_.assign(item_prev_.size(), kNoItem);
-  item_next_.assign(item_next_.size(), kNoItem);
-  node_of_.assign(node_of_.size(), kNoNode);
-  tie_of_.assign(tie_of_.size(), 0);
+  state_of_.assign(state_of_.size(), ItemState{});
+  fifo_.clear();
+  fifo_head_ = 0;
+  heap_.clear();
   next_tie_ = 0;
 }
 

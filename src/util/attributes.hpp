@@ -1,0 +1,19 @@
+// Function attributes for hot-path code-layout control.
+//
+// The fast engines (core/simulator.hpp) instantiate policy callbacks
+// directly inside their access loop. For the *hit* path that is the whole
+// point — an out-of-line call per access costs more than the callback body.
+// For a policy with a large *miss* body (whole-block load loops, episode
+// bookkeeping), inlining the miss path into the same loop bloats it past
+// the I-cache sweet spot and slows the hits down too. Such policies keep
+// on_hit inline and pin on_miss out of line with GC_NOINLINE; see
+// docs/PERF.md ("policy rewrites") for measurements.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define GC_NOINLINE __attribute__((noinline))
+#elif defined(_MSC_VER)
+#define GC_NOINLINE __declspec(noinline)
+#else
+#define GC_NOINLINE
+#endif

@@ -88,6 +88,9 @@ TEST(BeladyItem, MatchesExactOptInTraditionalModel) {
 }
 
 TEST(BeladyItem, RequiresPrepare) {
+  // The prepared_ precondition sits on the per-access hot path and is
+  // hot-tier (compiled out under GC_FAST_SIM), like every per-access check.
+  if (!kHotChecksEnabled) GTEST_SKIP() << "hot checks compiled out";
   auto map = make_singleton_blocks(4);
   BeladyItem opt;
   Simulation sim(*map, opt, 2);

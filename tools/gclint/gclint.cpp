@@ -311,7 +311,7 @@ struct TraitDecl {
 std::vector<TraitDecl> collect_trait_decls(const std::vector<FileView>& views) {
   std::vector<TraitDecl> decls;
   const std::regex trait_re(
-      R"(static\s+constexpr\s+bool\s+(kRequestedLoadsOnly|kEvictsOutsideMiss|kIsStackPolicy)\s*=\s*true)");
+      R"(static\s+constexpr\s+bool\s+(kRequestedLoadsOnly|kEvictsOutsideMiss|kIsStackPolicy|kBatchesSameBlockRuns)\s*=\s*true)");
   const std::regex class_re(R"(\bclass\s+([A-Za-z_]\w*))");
   const std::regex checked_re(
       R"(GCLINT-TRAIT-CHECKED-BY:\s*([A-Za-z_][A-Za-z0-9_:]*))");
