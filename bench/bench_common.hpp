@@ -6,11 +6,14 @@
 //   * accepts `--quick` to shrink empirical sections for smoke runs.
 #pragma once
 
+#include <cstdio>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -70,5 +73,74 @@ inline std::string fmt(double v, int precision = 3) {
 }
 inline std::string fmtr(double v) { return TextTable::fmt_ratio(v); }
 inline std::string fmti(std::uint64_t v) { return TextTable::fmt_int(v); }
+
+// ---- Result provenance ------------------------------------------------------
+// Committed bench JSONs are only comparable against baselines from the same
+// commit and machine; PR 6's item-lfu baseline went stale silently because
+// nothing recorded where its numbers came from. Every JSON writer stamps
+// these two fields, and `--compare` warns loudly on a missing or mismatched
+// stamp (see warn_if_stale_baseline).
+
+/// First output line of `cmd`, trimmed; "unknown" when the command fails or
+/// prints nothing.
+inline std::string first_line_of_command(const char* cmd) {
+  FILE* pipe = ::popen(cmd, "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[256] = {0};
+  const bool got = std::fgets(buf, sizeof(buf), pipe) != nullptr;
+  ::pclose(pipe);
+  if (!got) return "unknown";
+  std::string line(buf);
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+    line.pop_back();
+  return line.empty() ? "unknown" : line;
+}
+
+/// Short git commit of the working tree the bench binary runs in.
+inline std::string current_git_commit() {
+  return first_line_of_command("git rev-parse --short HEAD 2>/dev/null");
+}
+
+/// Host identity for cross-machine staleness detection.
+inline std::string machine_name() {
+  char buf[256] = {0};
+  if (::gethostname(buf, sizeof(buf) - 1) != 0 || buf[0] == '\0')
+    return "unknown";
+  return buf;
+}
+
+/// Loud stderr banner when a --compare baseline has no provenance stamp or
+/// was measured elsewhere/elsewhen. Ratios against such a baseline can
+/// reflect machine or commit drift rather than the change under test.
+inline void warn_if_stale_baseline(const std::string& path,
+                                   const std::string& baseline_commit,
+                                   const std::string& baseline_machine) {
+  const std::string commit = current_git_commit();
+  const std::string machine = machine_name();
+  std::vector<std::string> problems;
+  if (baseline_commit.empty() || baseline_machine.empty()) {
+    problems.push_back(
+        "baseline has no git_commit/machine stamp (predates provenance "
+        "stamping) — it may be arbitrarily stale");
+  } else {
+    if (baseline_commit != commit)
+      problems.push_back("baseline commit " + baseline_commit +
+                         " != current " + commit);
+    if (baseline_machine != machine)
+      problems.push_back("baseline machine " + baseline_machine +
+                         " != current " + machine);
+  }
+  if (problems.empty()) return;
+  std::cerr << "\n"
+            << "=========================== WARNING ==========================="
+            << "\n"
+            << "stale baseline suspected for --compare " << path << ":\n";
+  for (const std::string& p : problems) std::cerr << "  * " << p << "\n";
+  std::cerr << "ratios below may measure machine/commit drift, not your "
+               "change;\nregenerate the baseline on this machine at the "
+               "pre-change commit.\n"
+            << "==============================================================="
+            << "\n\n";
+}
 
 }  // namespace gcaching::bench

@@ -1,0 +1,218 @@
+// Concurrent gcached runtime scaling: closed-loop throughput and latency
+// percentiles across a shard-count x thread-count grid.
+//
+// Each grid cell builds a fresh ShardedCache and replays the same Zipf
+// workload through N closed-loop client threads (bench/loadgen). Misses pay
+// a simulated backend fill (--fill-us) while holding the shard exclusively,
+// which is what makes shard count load-bearing: with one shard every fill
+// serializes behind one lock; with S shards fills to distinct shards
+// overlap. That models a real granular cache in front of a slow backend and
+// keeps the scaling signal machine-independent — the acceptance gate (CI
+// perf-smoke, docs/CONCURRENCY.md) asserts the (8 shards, 4 threads) cell
+// sustains >= 2x the (1 shard, 1 thread) throughput as a ratio, never an
+// absolute number.
+//
+// Output: aligned table, optional CSV, and BENCH_gcached.json with the full
+// grid plus git_commit/machine provenance stamps (see bench_common.hpp).
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gcached/gcached.hpp"
+#include "gcached/loadgen.hpp"
+#include "traces/synthetic.hpp"
+#include "util/contracts.hpp"
+
+namespace gcaching::bench {
+namespace {
+
+struct Options {
+  std::optional<std::string> csv_dir;
+  std::string json_path = "BENCH_gcached.json";
+  bool quick = false;
+  std::string policy = "item-lru";
+  std::vector<std::size_t> shards;   // empty = default grid
+  std::vector<std::size_t> threads;  // empty = default grid
+  std::uint64_t ops = 0;             // 0 = default per-cell op count
+  double fill_us = 50.0;
+  std::uint64_t seed = 1;
+};
+
+std::vector<std::size_t> parse_size_list(const std::string& arg) {
+  std::vector<std::size_t> out;
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    const std::size_t comma = arg.find(',', start);
+    const std::size_t end = comma == std::string::npos ? arg.size() : comma;
+    if (end > start)
+      out.push_back(static_cast<std::size_t>(
+          std::stoull(arg.substr(start, end - start))));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+Options parse(int argc, char** argv) {
+  Options opts;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--csv" && a + 1 < argc) {
+      opts.csv_dir = argv[++a];
+    } else if (arg == "--json" && a + 1 < argc) {
+      opts.json_path = argv[++a];
+    } else if (arg == "--policy" && a + 1 < argc) {
+      opts.policy = argv[++a];
+    } else if (arg == "--shards" && a + 1 < argc) {
+      opts.shards = parse_size_list(argv[++a]);
+    } else if (arg == "--threads" && a + 1 < argc) {
+      opts.threads = parse_size_list(argv[++a]);
+    } else if (arg == "--ops" && a + 1 < argc) {
+      opts.ops = std::stoull(argv[++a]);
+    } else if (arg == "--fill-us" && a + 1 < argc) {
+      opts.fill_us = std::stod(argv[++a]);
+    } else if (arg == "--seed" && a + 1 < argc) {
+      opts.seed = std::stoull(argv[++a]);
+    } else if (arg == "--quick") {
+      opts.quick = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--csv DIR] [--json PATH] [--quick]"
+                << " [--policy SPEC] [--shards S[,S...]]"
+                << " [--threads N[,N...]] [--ops N] [--fill-us F]"
+                << " [--seed S]\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  if (opts.shards.empty())
+    opts.shards = opts.quick ? std::vector<std::size_t>{1, 2, 8}
+                             : std::vector<std::size_t>{1, 2, 8, 32};
+  if (opts.threads.empty())
+    opts.threads = opts.quick ? std::vector<std::size_t>{1, 2, 4}
+                              : std::vector<std::size_t>{1, 2, 4, 8};
+  if (opts.ops == 0) opts.ops = opts.quick ? 40'000 : 150'000;
+  return opts;
+}
+
+struct GridCell {
+  std::size_t shards = 0;
+  std::size_t threads = 0;
+  gcached::LoadResult load;
+};
+
+void write_json(const Options& opts, const Workload& workload,
+                std::size_t capacity, const std::vector<GridCell>& cells) {
+  std::ofstream out(opts.json_path);
+  GC_REQUIRE(out.good(), "cannot open " + opts.json_path + " for writing");
+  out << "{\n"
+      << "  \"bench\": \"gcached\",\n"
+      << "  \"git_commit\": \"" << current_git_commit() << "\",\n"
+      << "  \"machine\": \"" << machine_name() << "\",\n"
+      << "  \"gc_fast_sim\": " << (kHotChecksEnabled ? "false" : "true")
+      << ",\n"
+      << "  \"quick\": " << (opts.quick ? "true" : "false") << ",\n"
+      << "  \"policy\": \"" << opts.policy << "\",\n"
+      << "  \"workload_accesses\": " << workload.trace.size() << ",\n"
+      << "  \"capacity\": " << capacity << ",\n"
+      << "  \"fill_latency_us\": " << opts.fill_us << ",\n"
+      << "  \"ops_per_cell\": " << opts.ops << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const GridCell& c = cells[i];
+    out << "    {\"shards\": " << c.shards << ", \"threads\": " << c.threads
+        << ", \"ops\": " << c.load.ops << ", \"seconds\": " << c.load.seconds
+        << ", \"ops_per_sec\": " << c.load.ops_per_sec
+        << ", \"p50_us\": " << c.load.p50_us
+        << ", \"p99_us\": " << c.load.p99_us
+        << ", \"p999_us\": " << c.load.p999_us
+        << ", \"miss_rate\": " << c.load.stats.miss_rate()
+        << ", \"lock_contended\": " << c.load.lock_contended
+        << ", \"backoff_rounds\": " << c.load.backoff_rounds << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+const GridCell* find_cell(const std::vector<GridCell>& cells,
+                          std::size_t shards, std::size_t threads) {
+  for (const GridCell& c : cells)
+    if (c.shards == shards && c.threads == threads) return &c;
+  return nullptr;
+}
+
+int run(int argc, char** argv) {
+  const Options opts = parse(argc, argv);
+  BenchOptions table_opts;
+  table_opts.csv_dir = opts.csv_dir;
+  table_opts.quick = opts.quick;
+
+  // Same regime as bench_throughput's zipf-large: 64Ki items at 6%
+  // capacity, ~47% item-lru miss rate — misses (hence backend fills) are
+  // frequent enough that shard-level fill overlap dominates the cell time.
+  Workload workload = traces::zipf_items(65536, 16, 200'000, 0.9, 42);
+  const std::size_t capacity = 4096;
+  workload.trace.precompute_block_ids(*workload.map);
+
+  gcached::GcachedConfig cfg;
+  cfg.capacity = capacity;
+  cfg.fill_latency_ns = static_cast<std::uint64_t>(opts.fill_us * 1000.0);
+
+  TableSink table(table_opts, "gcached closed-loop scaling (" + opts.policy +
+                                  ", fill " + fmt(opts.fill_us, 1) + "us)",
+                  "gcached",
+                  {"shards", "threads", "ops_s", "p50_us", "p99_us",
+                   "p999_us", "contended"});
+
+  std::vector<GridCell> cells;
+  for (std::size_t shards : opts.shards) {
+    if (!cells.empty()) table.add_separator();
+    for (std::size_t threads : opts.threads) {
+      cfg.num_shards = shards;
+      const auto cache =
+          gcached::make_concurrent_cache(opts.policy, workload.map, cfg);
+      gcached::LoadSpec spec;
+      spec.threads = threads;
+      spec.total_ops = opts.ops;
+      spec.seed = opts.seed;
+      GridCell cell;
+      cell.shards = shards;
+      cell.threads = threads;
+      cell.load = run_load(*cache, workload.trace,
+                           workload.trace.block_ids(), spec);
+      table.add_row({fmti(shards), fmti(threads),
+                     fmti(static_cast<std::uint64_t>(cell.load.ops_per_sec)),
+                     fmt(cell.load.p50_us, 1), fmt(cell.load.p99_us, 1),
+                     fmt(cell.load.p999_us, 1),
+                     fmti(cell.load.lock_contended)});
+      cells.push_back(cell);
+    }
+  }
+  table.flush();
+
+  // Headline scaling ratio — the pair the CI perf-smoke gate checks.
+  const GridCell* base = find_cell(cells, 1, 1);
+  const GridCell* scaled = find_cell(cells, 8, 4);
+  if (base != nullptr && scaled != nullptr) {
+    std::cout << "scaling (8 shards, 4 threads) vs (1 shard, 1 thread): "
+              << fmtr(scaled->load.ops_per_sec / base->load.ops_per_sec)
+              << "x\n";
+  }
+
+  write_json(opts, workload, capacity, cells);
+  std::cout << "wrote " << opts.json_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace gcaching::bench
+
+int main(int argc, char** argv) {
+  return gcaching::bench::run(argc, argv);
+}

@@ -161,23 +161,35 @@ std::optional<double> json_line_number(const std::string& line,
   return std::stod(line.substr(at + needle.size()));
 }
 
-/// Reads the result cells back out of a previous run's JSON. The format is
-/// our own line-per-cell serialization from write_json, so a line-oriented
-/// scan is exact — no general JSON parser needed.
-std::vector<OldCell> read_old_json(const std::string& path) {
+/// A previous run's JSON: provenance header plus result cells.
+struct OldJson {
+  std::string git_commit;  // empty when the baseline predates stamping
+  std::string machine;
+  std::vector<OldCell> cells;
+};
+
+/// Reads the provenance header and result cells back out of a previous
+/// run's JSON. The format is our own line-per-cell serialization from
+/// write_json, so a line-oriented scan is exact — no general JSON parser
+/// needed.
+OldJson read_old_json(const std::string& path) {
   std::ifstream in(path);
   GC_REQUIRE(in.good(), "cannot open --compare file " + path);
-  std::vector<OldCell> cells;
+  OldJson old;
   std::string line;
   while (std::getline(in, line)) {
+    if (const auto commit = json_line_string(line, "git_commit"))
+      old.git_commit = *commit;
+    if (const auto machine = json_line_string(line, "machine"))
+      old.machine = *machine;
     const auto workload = json_line_string(line, "workload");
     const auto policy = json_line_string(line, "policy");
     const auto aps = json_line_number(line, "fast_accesses_per_sec");
     if (workload && policy && aps)
-      cells.push_back({*workload, *policy, *aps});
+      old.cells.push_back({*workload, *policy, *aps});
   }
-  GC_REQUIRE(!cells.empty(), "no result cells found in " + path);
-  return cells;
+  GC_REQUIRE(!old.cells.empty(), "no result cells found in " + path);
+  return old;
 }
 
 const OldCell* find_old(const std::vector<OldCell>& old, const Cell& cell) {
@@ -273,6 +285,8 @@ void write_json(const Options& opts, const std::vector<Cell>& cells,
   GC_REQUIRE(out.good(), "cannot open " + opts.json_path + " for writing");
   out << "{\n"
       << "  \"bench\": \"throughput\",\n"
+      << "  \"git_commit\": \"" << current_git_commit() << "\",\n"
+      << "  \"machine\": \"" << machine_name() << "\",\n"
       << "  \"gc_fast_sim\": " << (kHotChecksEnabled ? "false" : "true")
       << ",\n"
       << "  \"quick\": " << (opts.quick ? "true" : "false") << ",\n"
@@ -351,12 +365,13 @@ int run(int argc, char** argv) {
     }
   }
   table.flush();
-  std::vector<OldCell> old;
+  OldJson old;
   if (opts.compare_path) {
     old = read_old_json(*opts.compare_path);
-    print_compare(*opts.compare_path, old, cells);
+    warn_if_stale_baseline(*opts.compare_path, old.git_commit, old.machine);
+    print_compare(*opts.compare_path, old.cells, cells);
   }
-  write_json(opts, cells, old);
+  write_json(opts, cells, old.cells);
   std::cout << "wrote " << opts.json_path << "\n";
   return 0;
 }

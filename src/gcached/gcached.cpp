@@ -1,0 +1,49 @@
+#include "gcached/gcached.hpp"
+
+#include "policies/block_fifo.hpp"
+#include "policies/block_lru.hpp"
+#include "policies/item_fifo.hpp"
+#include "policies/item_lru.hpp"
+#include "util/contracts.hpp"
+
+namespace gcaching::gcached {
+
+namespace {
+
+template <typename Policy>
+std::unique_ptr<ConcurrentCache> make_sharded(
+    std::shared_ptr<const BlockMap> map, const GcachedConfig& cfg,
+    const std::string& name) {
+  auto make = [] { return Policy(); };
+  return std::make_unique<ShardedCache<Policy, decltype(make)>>(
+      std::move(map), cfg, make, name);
+}
+
+}  // namespace
+
+std::vector<std::string> supported_concurrent_specs() {
+  return {"item-lru", "item-fifo", "block-lru", "block-fifo"};
+}
+
+std::unique_ptr<ConcurrentCache> make_concurrent_cache(
+    const std::string& spec, std::shared_ptr<const BlockMap> map,
+    const GcachedConfig& cfg) {
+  if (spec == "item-lru") return make_sharded<ItemLru>(std::move(map), cfg, spec);
+  if (spec == "item-fifo")
+    return make_sharded<ItemFifo>(std::move(map), cfg, spec);
+  if (spec == "block-lru")
+    return make_sharded<BlockLru>(std::move(map), cfg, spec);
+  if (spec == "block-fifo")
+    return make_sharded<BlockFifo>(std::move(map), cfg, spec);
+  GC_REQUIRE(false,
+             "policy spec '" + spec +
+                 "' cannot run under gcached: only policies whose state is a "
+                 "function of (map, own-shard cache, own-shard accesses) "
+                 "shard — offline (belady-*), capacity-coupled (iblp*, "
+                 "athreshold) and globally-stateful (item-arc, footprint) "
+                 "policies are excluded; see docs/CONCURRENCY.md and "
+                 "supported_concurrent_specs()");
+  return nullptr;  // unreachable
+}
+
+}  // namespace gcaching::gcached

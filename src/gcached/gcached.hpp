@@ -1,0 +1,44 @@
+// Spec-string construction of gcached runtimes.
+//
+// `make_concurrent_cache` is the gcached analogue of the policy factory's
+// `simulate_fast_spec` type switch: it instantiates `ShardedCache<Policy>`
+// for the concrete class a spec names, so the per-shard transitions are the
+// devirtualized fast_step the differential tests pin.
+//
+// The ported set and the escape hatch: a policy can shard iff its decisions
+// are a function of (block map, its own shard's cache, its own shard's
+// access stream) — then per-shard instances are just S independent copies of
+// the policy running on S disjoint sub-caches. That holds for the recency /
+// insertion-order families ported here. It does NOT hold for
+//   * offline policies (belady-*): prepare() consumes the whole future
+//     trace, which no live runtime has;
+//   * capacity-coupled policies (iblp*, athreshold): their layer splits and
+//     thresholds are derived from the TOTAL capacity, and quantizing them
+//     per shard silently changes the policy being measured;
+//   * policies whose published numbers depend on a single global structure
+//     (item-arc's ghost lists, footprint's global frequency state): sharding
+//     them is a research question, not an adapter.
+// Such specs throw ContractViolation naming this list; the supported set is
+// enumerated by `supported_concurrent_specs()` so tests and tools never
+// hard-code it. See docs/CONCURRENCY.md ("Which policies shard").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/block_map.hpp"
+#include "gcached/sharded_cache.hpp"
+
+namespace gcaching::gcached {
+
+/// Specs accepted by make_concurrent_cache, in factory-spec syntax.
+std::vector<std::string> supported_concurrent_specs();
+
+/// Construct a sharded runtime for `spec` over `map` with `cfg`. Throws
+/// ContractViolation for specs that cannot shard (see file comment).
+std::unique_ptr<ConcurrentCache> make_concurrent_cache(
+    const std::string& spec, std::shared_ptr<const BlockMap> map,
+    const GcachedConfig& cfg);
+
+}  // namespace gcaching::gcached

@@ -1,0 +1,68 @@
+// Closed-loop load generator for the gcached runtime.
+//
+// N client threads (sim/thread_pool.hpp workers) replay disjoint partitions
+// of one trace against a shared ConcurrentCache, each issuing its next
+// request the moment the previous one completes — closed-loop, so measured
+// latency feeds back into offered load exactly like a blocking cache client.
+// The partition is strided (thread t replays accesses t, t+N, t+2N, ...),
+// which keeps every thread's sub-trace statistically identical to the whole
+// and, at N = 1, degenerates to the original access order — that is the
+// configuration the differential test pins against simulate_fast.
+//
+// Per-operation latency is recorded with chained steady_clock reads (one
+// clock read per op) into preallocated per-thread arrays; percentiles are
+// taken over the merged sample after the run. Lock-contention telemetry
+// accumulates in each thread's ClientContext and is aggregated — and
+// emitted via GC_OBS_COUNT — once per run, never per operation.
+//
+// With more than one thread the interleaving (hence SimStats) is
+// schedule-dependent; the conservation invariants (accesses == ops,
+// hits + misses == accesses) hold on every schedule and are what the
+// concurrent tests assert.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/stats.hpp"
+#include "core/trace.hpp"
+#include "gcached/sharded_cache.hpp"
+
+namespace gcaching::gcached {
+
+struct LoadSpec {
+  std::size_t threads = 1;
+  /// Total operations across all threads; 0 = exactly one pass over the
+  /// trace. More than one trace length wraps around (per-thread strides
+  /// restart at their offset).
+  std::uint64_t total_ops = 0;
+  /// Base seed for the per-thread backoff-jitter RNGs.
+  std::uint64_t seed = 1;
+};
+
+struct LoadResult {
+  std::uint64_t ops = 0;
+  double seconds = 0.0;
+  double ops_per_sec = 0.0;
+  /// Operation-latency percentiles over every op of every thread, in
+  /// microseconds (p50 <= p99 <= p999 <= max by construction).
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double max_us = 0.0;
+  /// Aggregate cache statistics (collect_stats after quiescing).
+  SimStats stats;
+  /// Summed ClientContext contention counters.
+  std::uint64_t lock_acquisitions = 0;
+  std::uint64_t lock_contended = 0;
+  std::uint64_t backoff_rounds = 0;
+};
+
+/// Run `spec.threads` closed-loop clients over `trace` against `cache`.
+/// `block_ids` must hold each access's block id (resolve_block_ids /
+/// Trace::precompute_block_ids). Blocks until every client finished.
+LoadResult run_load(ConcurrentCache& cache, const Trace& trace,
+                    std::span<const BlockId> block_ids, const LoadSpec& spec);
+
+}  // namespace gcaching::gcached

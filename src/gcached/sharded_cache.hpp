@@ -1,0 +1,255 @@
+// The gcached concurrent runtime: CacheContents hash-partitioned into S
+// shards by BLOCK id, each shard a fully independent single-owner cache.
+//
+// Why block-granular sharding: Definition 1 lets a miss load any subset of
+// the missed item's block, and the block policies evict whole blocks. If two
+// items of one block could land on different shards, a single miss
+// transaction would have to take two locks and the model invariant "a block
+// is resident in one place" would span shards. Hashing the BLOCK id instead
+// makes every subset-of-block load, sideload, and whole-block eviction
+// shard-local by construction — the paper's granularity-change machinery
+// never crosses a shard boundary.
+//
+// Per-shard state transitions are *externalized*: a shard bundles
+// {ShardLock, CacheContents, Policy, partial SimStats, access count} and the
+// only mutation is `detail::fast_step` — the exact per-access transition of
+// `simulate_fast` (core/simulator.hpp) — applied under the shard's exclusive
+// lock. The existing policies therefore run unmodified, still assuming
+// exclusive ownership of their metadata; the adapter's job is to make the
+// ownership region explicit (one shard, one lock) instead of implicit (one
+// simulation, one thread). This is also what anchors correctness: with one
+// shard and one client thread the transition sequence is literally
+// simulate_fast's, so SimStats are bit-identical (tests/test_gcached.cpp).
+//
+// With S > 1 each shard owns capacity/S (±1) items, so the aggregate is a
+// partitioned cache, not a shared one: stats differ from a monolithic run
+// by capacity quantization, exactly like a set-associative cache differs
+// from a fully-associative one. See docs/CONCURRENCY.md.
+//
+// Misses may be charged a simulated backend fill latency
+// (`GcachedConfig::fill_latency_ns`), slept while HOLDING the shard — a
+// synchronous fill with the shard's single writer blocked, the regime where
+// sharding is what buys fill overlap (and what the closed-loop bench
+// measures). Requests to other shards proceed; requests to the filling
+// shard back off in ShardLock.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/block_map.hpp"
+#include "core/cache_contents.hpp"
+#include "core/simulator.hpp"
+#include "core/stats.hpp"
+#include "core/types.hpp"
+#include "gcached/shard_lock.hpp"
+#include "locality/sample.hpp"
+#include "util/contracts.hpp"
+
+namespace gcaching::gcached {
+
+/// Seed of the shard hash. Distinct from any sampling seed a user would
+/// plausibly pass (SHARDS sampling defaults to seed 1), so the sampled
+/// block subset stays independent of the shard assignment.
+inline constexpr std::uint64_t kShardHashSeed = 0x5ca1ab1eULL;
+
+GC_HOT_REGION_BEGIN(gcached_shard_of_block)
+/// Shard of a block: SplitMix64-finalizer hash (locality::sample_hash, the
+/// same avalanching mix the sampler trusts) Lemire-reduced to [0, S). Works
+/// for any S including non-powers of two; golden values are pinned by
+/// tests/test_gcached.cpp so the assignment can never silently change.
+inline std::size_t shard_of_block(BlockId block,
+                                  std::size_t num_shards) noexcept {
+  if (num_shards <= 1) return 0;
+  const std::uint64_t h = locality::sample_hash(block, kShardHashSeed);
+  return static_cast<std::size_t>(
+      (static_cast<unsigned __int128>(h) *
+       static_cast<unsigned __int128>(num_shards)) >>
+      64);
+}
+GC_HOT_REGION_END(gcached_shard_of_block)
+
+/// Convenience for tests/tools: the shard serving `item`'s block.
+inline std::size_t shard_of_item(const BlockMap& map, ItemId item,
+                                 std::size_t num_shards) {
+  return shard_of_block(map.block_of(item), num_shards);
+}
+
+/// Capacity share of shard `s` when `capacity` items are split across
+/// `num_shards` shards: capacity/S plus one of the remainder items for the
+/// first capacity%S shards, so the shares sum to exactly `capacity`.
+inline std::size_t shard_capacity_share(std::size_t capacity,
+                                        std::size_t num_shards,
+                                        std::size_t s) {
+  GC_REQUIRE(s < num_shards, "shard index out of range");
+  return capacity / num_shards + (s < capacity % num_shards ? 1 : 0);
+}
+
+struct GcachedConfig {
+  std::size_t num_shards = 1;
+  std::size_t capacity = 0;
+  /// Simulated synchronous backend fill charged on every miss, slept while
+  /// the missed shard is held exclusively. 0 = pure in-memory transitions
+  /// (the differential-test configuration).
+  std::uint64_t fill_latency_ns = 0;
+  BackoffConfig backoff;
+};
+
+/// Type-erased runtime handle (the template below is the only
+/// implementation). One virtual call per operation — noise next to the lock
+/// acquire — in exchange for spec-string construction in tools and benches.
+class ConcurrentCache {
+ public:
+  virtual ~ConcurrentCache() = default;
+
+  ConcurrentCache() = default;
+  ConcurrentCache(const ConcurrentCache&) = delete;
+  ConcurrentCache& operator=(const ConcurrentCache&) = delete;
+
+  /// One client operation: hit/miss classification, policy transition, and
+  /// stat updates for `item`, under its shard's exclusive lock. `block`
+  /// must be `item`'s block id (precomputed, as in the fast engines).
+  virtual void access(ClientContext& ctx, ItemId item, BlockId block) = 0;
+
+  /// Read-only residency probe under the shard's shared lock.
+  virtual bool contains(ClientContext& ctx, ItemId item, BlockId block) = 0;
+
+  /// Aggregate SimStats across shards. Takes every shard lock; the result
+  /// is exact when the runtime is quiesced (no in-flight clients) and a
+  /// consistent-per-shard snapshot otherwise.
+  virtual SimStats collect_stats() = 0;
+
+  virtual std::size_t num_shards() const = 0;
+  virtual std::size_t capacity() const = 0;
+  /// Shard `s`'s capacity share (see shard_capacity_share).
+  virtual std::size_t shard_capacity(std::size_t s) const = 0;
+  /// Shard `s`'s current occupancy (takes the shard lock).
+  virtual std::size_t shard_occupancy(std::size_t s) = 0;
+  virtual std::string policy_name() const = 0;
+};
+
+/// The ConcurrentPolicy adapter: `Policy` is any concrete policy class
+/// usable with `detail::fast_step` whose state is derivable from (map,
+/// per-shard cache) alone — no offline prepare(), no cross-shard reads.
+/// Policies outside that envelope cannot shard; `make_concurrent_cache`
+/// (gcached.hpp) documents the escape hatch.
+template <typename Policy, typename MakePolicy>
+class ShardedCache final : public ConcurrentCache {
+ public:
+  /// `make_policy()` returns a fresh Policy by value (guaranteed elision),
+  /// called once per shard — mirroring simulate_column's per-lane factory.
+  ShardedCache(std::shared_ptr<const BlockMap> map, const GcachedConfig& cfg,
+               MakePolicy make_policy, std::string policy_name)
+      : map_(std::move(map)), cfg_(cfg), name_(std::move(policy_name)) {
+    GC_REQUIRE(map_ != nullptr, "gcached needs a block map");
+    GC_REQUIRE(cfg_.num_shards >= 1, "gcached needs at least one shard");
+    GC_REQUIRE(cfg_.capacity >= cfg_.num_shards,
+               "gcached needs at least one item of capacity per shard");
+    GC_REQUIRE((cfg_.backoff.base_sleep_ns &
+                (cfg_.backoff.base_sleep_ns - 1)) == 0 &&
+                   cfg_.backoff.base_sleep_ns > 0,
+               "backoff base_sleep_ns must be a power of two");
+    shards_.reserve(cfg_.num_shards);
+    for (std::size_t s = 0; s < cfg_.num_shards; ++s) {
+      shards_.push_back(std::make_unique<Shard>(
+          *map_, shard_capacity_share(cfg_.capacity, cfg_.num_shards, s),
+          make_policy));
+      Shard& shard = *shards_.back();
+      // The exact setup sequence of simulate_fast, minus prepare() (online
+      // policies only — enforced by the factory's escape hatch).
+      shard.policy.attach(*map_, shard.cache);
+      shard.cache.set_load_time_tracking(false);
+    }
+  }
+
+  GC_HOT_REGION_BEGIN(gcached_access)
+  void access(ClientContext& ctx, ItemId item, BlockId block) override {
+    Shard& shard = *shards_[shard_of_block(block, shards_.size())];
+    ShardGuard guard(shard.lock, ctx, cfg_.backoff);
+    // Single-writer-per-shard invariant: the exclusive lock makes the flag
+    // race-free, so a firing check means a lock-discipline bug (an access
+    // path that skipped ShardGuard), not a data race.
+    GC_HOT_CHECK(!shard.writer_active,
+                 "single-writer-per-shard invariant violated");
+    if constexpr (kHotChecksEnabled) shard.writer_active = true;
+    const std::uint64_t misses_before = shard.partial.misses;
+    detail::fast_step(shard.cache, shard.policy, shard.partial, item, block);
+    ++shard.accesses;
+    if constexpr (kHotChecksEnabled) shard.writer_active = false;
+    if (cfg_.fill_latency_ns != 0 && shard.partial.misses != misses_before) {
+      // Synchronous fill: the shard stays held (its writer is blocked on
+      // the backend), threads on other shards keep going. Slept inside the
+      // guard on purpose — this is the contention the bench measures.
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(cfg_.fill_latency_ns));
+    }
+  }
+
+  bool contains(ClientContext& ctx, ItemId item, BlockId block) override {
+    Shard& shard = *shards_[shard_of_block(block, shards_.size())];
+    SharedShardGuard guard(shard.lock, ctx, cfg_.backoff);
+    return shard.cache.contains(item);
+  }
+  GC_HOT_REGION_END(gcached_access)
+
+  SimStats collect_stats() override {
+    // Cold path: plain lock() via a throwaway context per shard; the
+    // derivable counters are filled from a COPY of the partial stats, the
+    // same trick as detail::fast_live_snapshot.
+    SimStats total;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      ClientContext ctx;
+      ShardGuard guard(shard->lock, ctx, cfg_.backoff);
+      SimStats snapshot = shard->partial;
+      detail::fast_finalize<Policy>(shard->cache, snapshot, shard->accesses);
+      total += snapshot;
+    }
+    return total;
+  }
+
+  std::size_t num_shards() const override { return shards_.size(); }
+  std::size_t capacity() const override { return cfg_.capacity; }
+
+  std::size_t shard_capacity(std::size_t s) const override {
+    GC_REQUIRE(s < shards_.size(), "shard index out of range");
+    return shards_[s]->cache.capacity();
+  }
+
+  std::size_t shard_occupancy(std::size_t s) override {
+    GC_REQUIRE(s < shards_.size(), "shard index out of range");
+    ClientContext ctx;
+    ShardGuard guard(shards_[s]->lock, ctx, cfg_.backoff);
+    return shards_[s]->cache.occupancy();
+  }
+
+  std::string policy_name() const override { return name_; }
+
+ private:
+  // One cache line per shard header keeps neighbouring shards' locks from
+  // false-sharing under cross-shard traffic.
+  struct alignas(64) Shard {
+    ShardLock lock;
+    CacheContents cache;
+    Policy policy;
+    SimStats partial;       ///< non-derivable counters only (fast_step)
+    std::uint64_t accesses = 0;
+    bool writer_active = false;  ///< checking builds only; guarded by `lock`
+
+    Shard(const BlockMap& map, std::size_t capacity, MakePolicy& make)
+        : cache(map, capacity), policy(make()) {}
+  };
+
+  std::shared_ptr<const BlockMap> map_;
+  GcachedConfig cfg_;
+  std::string name_;
+  // Policies are neither copyable nor movable, so shards live behind
+  // unique_ptr (the simulate_column Lane pattern).
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace gcaching::gcached

@@ -214,6 +214,58 @@ GC_HOT_REGION_END(per_access)
       findings_for_rule(gclint::lint(files), "hot-region-raw-obs").empty());
 }
 
+TEST(GclintHotRegion, RawLockInsideRegionIsFlagged) {
+  const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
+std::mutex cold_setup_mu;
+GC_HOT_REGION_BEGIN(per_access)
+inline void step(Shard& shard) {
+  std::lock_guard<std::mutex> guard(shard.mu);
+  shard.apply();
+}
+GC_HOT_REGION_END(per_access)
+)cpp"}};
+  const auto hits =
+      findings_for_rule(gclint::lint(files), "hot-region-raw-lock");
+  // Line 2 is outside any region (cold-path locking is fine); line 5 fires
+  // once even though it names two banned tokens.
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 5u);
+  EXPECT_NE(hits[0].message.find("shard_lock.hpp"), std::string::npos);
+}
+
+TEST(GclintHotRegion, ShardLockHomeAndHelpersAreLegal) {
+  // shard_lock.hpp is the sanctioned home; call sites using the ShardGuard
+  // helpers (or identifiers merely containing "mutex") must not trip.
+  const std::vector<SourceFile> files = {
+      {"src/gcached/shard_lock.hpp", R"cpp(
+GC_HOT_REGION_BEGIN(shard_lock_acquire)
+class ShardLock { std::shared_mutex mu_; };
+GC_HOT_REGION_END(shard_lock_acquire)
+)cpp"},
+      {"src/gcached/sharded_cache.hpp", R"cpp(
+GC_HOT_REGION_BEGIN(gcached_access)
+inline void access(Shard& shard, ClientContext& ctx, BackoffConfig cfg) {
+  ShardGuard guard(shard.lock, ctx, cfg);
+  int mutex_free_count = 0;
+  (void)mutex_free_count;
+}
+GC_HOT_REGION_END(gcached_access)
+)cpp"}};
+  EXPECT_TRUE(
+      findings_for_rule(gclint::lint(files), "hot-region-raw-lock").empty());
+}
+
+TEST(GclintHotRegion, AllowAnnotationSuppressesRawLock) {
+  const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
+GC_HOT_REGION_BEGIN(per_access)
+// GCLINT-ALLOW(hot-region-raw-lock): startup barrier, not per-access
+inline void start(std::condition_variable& cv) { cv.notify_all(); }
+GC_HOT_REGION_END(per_access)
+)cpp"}};
+  EXPECT_TRUE(
+      findings_for_rule(gclint::lint(files), "hot-region-raw-lock").empty());
+}
+
 TEST(GclintHotRegion, HotTierContractsAreLegalInside) {
   const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
 GC_HOT_REGION_BEGIN(per_access)

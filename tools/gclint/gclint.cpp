@@ -207,8 +207,20 @@ void check_hot_regions(const FileView& v, std::vector<Finding>& out) {
   constexpr const char* kBalance = "hot-region-balance";
   constexpr const char* kCold = "hot-region-cold-contract";
   constexpr const char* kRawObs = "hot-region-raw-obs";
+  constexpr const char* kRawLock = "hot-region-raw-lock";
   static const std::vector<std::string> kColdMacros = {
       "GC_REQUIRE", "GC_ENSURE", "GC_CHECK"};
+  // Raw synchronization primitives banned from hot regions: per-access
+  // locking must go through the gcached shard-lock helpers (ShardGuard /
+  // SharedShardGuard), which bundle try-lock-first, randomized backoff and
+  // contention telemetry. shard_lock.hpp itself is the sanctioned home.
+  static const std::vector<std::string> kRawLockTokens = {
+      "mutex",         "shared_mutex",  "recursive_mutex",
+      "timed_mutex",   "shared_timed_mutex",
+      "lock_guard",    "unique_lock",   "scoped_lock",
+      "shared_lock",   "condition_variable", "condition_variable_any"};
+  const bool is_lock_home =
+      ends_with_path(v.file->path, "src/gcached/shard_lock.hpp");
   // Matches `obs::` and `gcaching::obs::` alike; the GC_OBS_* macros (the
   // only sanctioned entry points in per-access code) never expand from a
   // token spelled `obs`.
@@ -259,6 +271,18 @@ void check_hot_regions(const FileView& v, std::vector<Finding>& out) {
           "direct obs:: use inside hot region '" + *open_label +
               "' — per-access telemetry must go through the GC_OBS_* macros, "
               "which compile to nothing under GCACHING_OBS=OFF");
+    }
+    if (!is_lock_home) {
+      for (const std::string& tok : kRawLockTokens) {
+        if (has_token(line, tok)) {
+          add(out, v, i, kRawLock,
+              "'" + tok + "' inside hot region '" + *open_label +
+                  "' — per-access locking must go through the shard-lock "
+                  "helpers in src/gcached/shard_lock.hpp (try-lock + "
+                  "randomized backoff + contention telemetry)");
+          break;  // one finding per line, not one per matching token
+        }
+      }
     }
   }
   if (open_label) {

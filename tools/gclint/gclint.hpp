@@ -17,6 +17,15 @@
 //                             nothing when GCACHING_OBS is OFF. A raw call
 //                             would keep paying the telemetry cost in the
 //                             configurations that opted out of it.
+//   hot-region-raw-lock       No raw std::mutex / shared_mutex / lock_guard /
+//                             unique_lock / condition_variable (etc.) inside
+//                             a hot region — per-access locking must go
+//                             through the gcached shard-lock helpers
+//                             (ShardGuard / SharedShardGuard), which bundle
+//                             try-lock-first acquisition, randomized
+//                             exponential backoff, and contention telemetry.
+//                             src/gcached/shard_lock.hpp is the sanctioned
+//                             home and the one exempt file.
 //   trait-audit               Every opt-in policy trait declaration
 //                             (kRequestedLoadsOnly, kEvictsOutsideMiss,
 //                             kIsStackPolicy) must carry a

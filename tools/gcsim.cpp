@@ -5,6 +5,8 @@
 //                   [--obs DIR] [--obs-window N]
 //   gcsim sweep     --workload FILE --policies A,B,.. --capacities N,M,..
 //                   [--threads T] [--csv FILE] [--obs DIR] [--progress]
+//   gcsim gcached   --workload FILE --capacity N [--policy SPEC]
+//                   [--shards S] [--threads N] [--ops N] [--fill-us F]
 //   gcsim profile   --workload FILE [--windows N1,N2,..]
 //   gcsim adversary --type item|block|general --policy SPEC
 //                   --k N --h N --B N [--phases P] [--save FILE]
@@ -30,6 +32,8 @@
 #include "bounds/partition.hpp"
 #include "core/simulator.hpp"
 #include "core/trace_io.hpp"
+#include "gcached/gcached.hpp"
+#include "gcached/loadgen.hpp"
 #include "hierarchy/hierarchy.hpp"
 #include "locality/concave.hpp"
 #include "locality/mrc.hpp"
@@ -449,6 +453,53 @@ int cmd_sweep(const Args& args) {
   return 0;
 }
 
+int cmd_gcached(const Args& args) {
+  Workload w = load_any_workload(args.get("workload"));
+  w.trace.precompute_block_ids(*w.map);
+
+  gcached::GcachedConfig cfg;
+  cfg.capacity = args.get_u64("capacity");
+  cfg.num_shards = args.get_u64("shards", 1);
+  cfg.fill_latency_ns =
+      static_cast<std::uint64_t>(args.get_f64("fill-us", 0.0) * 1000.0);
+  const std::string spec = args.get("policy", std::string("item-lru"));
+  const auto cache = gcached::make_concurrent_cache(spec, w.map, cfg);
+
+  gcached::LoadSpec load;
+  load.threads = args.get_u64("threads", 1);
+  load.total_ops = args.get_u64("ops", 0);  // 0 = one trace pass
+  load.seed = args.get_u64("seed", 1);
+
+  require_obs_build(args);
+  std::optional<ObsSinks> sinks;
+  if (args.has("obs")) sinks.emplace(args.get("obs"));
+
+  std::cout << "workload: " << w.name << " (" << w.trace.size()
+            << " accesses), capacity " << cfg.capacity << ", policy " << spec
+            << ", " << cfg.num_shards << " shard(s), " << load.threads
+            << " client thread(s)\n";
+  const auto res =
+      gcached::run_load(*cache, w.trace, w.trace.block_ids(), load);
+
+  TextTable table({"metric", "value"});
+  table.add_row({"ops", TextTable::fmt_int(res.ops)});
+  table.add_row({"seconds", TextTable::fmt(res.seconds, 3)});
+  table.add_row({"ops/sec",
+                 TextTable::fmt_int(
+                     static_cast<std::uint64_t>(res.ops_per_sec))});
+  table.add_row({"p50 us", TextTable::fmt(res.p50_us, 1)});
+  table.add_row({"p99 us", TextTable::fmt(res.p99_us, 1)});
+  table.add_row({"p999 us", TextTable::fmt(res.p999_us, 1)});
+  table.add_row({"miss rate", TextTable::fmt(res.stats.miss_rate(), 4)});
+  table.add_row({"spatial share",
+                 TextTable::fmt(res.stats.spatial_hit_share(), 3)});
+  table.add_row({"lock acquisitions", TextTable::fmt_int(res.lock_acquisitions)});
+  table.add_row({"lock contended", TextTable::fmt_int(res.lock_contended)});
+  table.add_row({"backoff rounds", TextTable::fmt_int(res.backoff_rounds)});
+  std::cout << table;
+  return 0;
+}
+
 int cmd_profile(const Args& args) {
   const Workload w = load_workload_file(args.get("workload"));
   std::vector<std::size_t> windows;
@@ -707,6 +758,10 @@ subcommands:
              sampling sweeps a SHARDS-style hash sample of each workload
              (block-consistent; binary inputs stream without materializing)
              and reports rescaled full-trace estimates — see docs/PERF.md
+  gcached    replay a workload through the concurrent sharded runtime with
+             closed-loop client threads — see docs/CONCURRENCY.md
+             --workload FILE --capacity N [--policy SPEC] [--shards S]
+             [--threads N] [--ops N] [--fill-us F] [--seed S] [--obs DIR]
 
 observability (GCACHING_OBS=ON builds; see docs/OBSERVABILITY.md):
   --obs DIR        write telemetry sinks into DIR: trace.json (Chrome
@@ -759,6 +814,7 @@ int main(int argc, char** argv) {
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "simulate") return cmd_simulate(args);
     if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "gcached") return cmd_gcached(args);
     if (cmd == "profile") return cmd_profile(args);
     if (cmd == "mrc") return cmd_mrc(args);
     if (cmd == "import") return cmd_import(args);
