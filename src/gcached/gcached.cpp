@@ -25,6 +25,19 @@ std::vector<std::string> supported_concurrent_specs() {
   return {"item-lru", "item-fifo", "block-lru", "block-fifo"};
 }
 
+std::string validate_gcached_request(long long shards, long long threads) {
+  if (shards <= 0)
+    return "--shards must be a positive integer (got " +
+           std::to_string(shards) +
+           "): each shard is an independently locked sub-cache, and the "
+           "runtime needs at least one";
+  if (threads <= 0)
+    return "--threads must be a positive integer (got " +
+           std::to_string(threads) +
+           "): the load generator needs at least one client thread";
+  return "";
+}
+
 std::unique_ptr<ConcurrentCache> make_concurrent_cache(
     const std::string& spec, std::shared_ptr<const BlockMap> map,
     const GcachedConfig& cfg) {

@@ -35,6 +35,13 @@ namespace gcaching::gcached {
 /// Specs accepted by make_concurrent_cache, in factory-spec syntax.
 std::vector<std::string> supported_concurrent_specs();
 
+/// CLI-level validation of the gcached runtime knobs, shared by `gcsim
+/// gcached` and its tests so the exact diagnostics are pinned. Returns ""
+/// when the request is valid, else a message naming the offending flag
+/// (`--shards`, `--threads`). Signed on purpose: the CLI parses signed so a
+/// user's `-4` is rejected here instead of wrapping to 2^64-4.
+std::string validate_gcached_request(long long shards, long long threads);
+
 /// Construct a sharded runtime for `spec` over `map` with `cfg`. Throws
 /// ContractViolation for specs that cannot shard (see file comment).
 std::unique_ptr<ConcurrentCache> make_concurrent_cache(

@@ -8,6 +8,7 @@
 namespace gcaching::obs {
 
 void CounterRegistry::add(const std::string& name, std::uint64_t delta) {
+  // GCLINT-ALLOW(hot-region-transitive): unqualified-name collision — the hot-region call is a policy's metadata add(), not the registry's; the GC_OBS_COUNT entry point is collect-time only
   std::lock_guard<std::mutex> lock(mu_);
   counters_[name] += delta;
 }

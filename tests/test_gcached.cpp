@@ -187,6 +187,58 @@ TEST(GcachedFactory, UnshardablePoliciesAreRejectedWithTheEscapeHatch) {
   }
 }
 
+TEST(GcachedFactory, UnshardableRejectionNamesThePolicyInTheMessage) {
+  // `gcsim gcached --policy belady-item` surfaces exactly this message, so
+  // the user sees WHICH spec was refused and why, not a bare failure.
+  const Workload w = small_zipf();
+  GcachedConfig cfg;
+  cfg.num_shards = 2;
+  cfg.capacity = 256;
+  try {
+    make_concurrent_cache("belady-item", w.map, cfg);
+    FAIL() << "belady-item must not construct under gcached";
+  } catch (const ContractViolation& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("belady-item"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cannot run under gcached"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("supported_concurrent_specs"), std::string::npos)
+        << msg;
+  }
+}
+
+// ---- CLI argument validation (gcsim gcached) --------------------------------
+
+TEST(GcachedCli, ValidRequestsPassValidation) {
+  EXPECT_EQ(validate_gcached_request(1, 1), "");
+  EXPECT_EQ(validate_gcached_request(64, 128), "");
+}
+
+TEST(GcachedCli, NonPositiveShardsAreRejectedNamingTheFlag) {
+  for (const long long bad : {0LL, -1LL, -64LL}) {
+    SCOPED_TRACE(bad);
+    const std::string msg = validate_gcached_request(bad, 1);
+    EXPECT_NE(msg.find("--shards"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(bad)), std::string::npos) << msg;
+  }
+}
+
+TEST(GcachedCli, NonPositiveThreadsAreRejectedNamingTheFlag) {
+  for (const long long bad : {0LL, -1LL, -8LL}) {
+    SCOPED_TRACE(bad);
+    const std::string msg = validate_gcached_request(1, bad);
+    EXPECT_NE(msg.find("--threads"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(bad)), std::string::npos) << msg;
+  }
+}
+
+TEST(GcachedCli, ShardsAreValidatedBeforeThreads) {
+  // Both invalid: the diagnostic names --shards (deterministic order, so
+  // scripts can rely on the first error reported).
+  const std::string msg = validate_gcached_request(0, 0);
+  EXPECT_NE(msg.find("--shards"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find("--threads"), std::string::npos) << msg;
+}
+
 // ---- Concurrent runs (tsan teeth) -------------------------------------------
 
 TEST(GcachedConcurrent, ConservationHoldsOnEverySchedule) {

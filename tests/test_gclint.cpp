@@ -4,9 +4,10 @@
 // quiet). The fixtures are in-memory SourceFiles, so the tests cover the
 // library exactly as the CLI drives it, with no filesystem setup.
 //
-// The fixture code below lives inside raw string literals; gclint blanks
-// string literals (including raw ones) before matching, which is also why
-// this file itself passes the repo-wide gclint_repo check.
+// The fixture code below lives inside raw string literals; gclint v2 matches
+// rules on lexed tokens and a string literal is a single token whose content
+// is never token-matched, which is also why this file itself passes the
+// repo-wide gclint_repo check.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "gclint.hpp"
+#include "sarif.hpp"
 
 namespace {
 
@@ -464,6 +466,455 @@ TEST(GclintCoverage, FullDatabaseIsClean) {
   EXPECT_TRUE(
       gclint::check_build_coverage(files, R"(["/repo/src/core/a.cpp"])")
           .empty());
+}
+
+// ---- hot-region-blocking ----------------------------------------------------
+
+TEST(GclintBlocking, SleepAndYieldInsideRegionAreFlagged) {
+  const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
+GC_HOT_REGION_BEGIN(per_access)
+inline void step() {
+  std::this_thread::sleep_for(std::chrono::nanoseconds(1));
+  std::this_thread::yield();
+}
+GC_HOT_REGION_END(per_access)
+)cpp"}};
+  const auto hits =
+      findings_for_rule(gclint::lint(files), "hot-region-blocking");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].line, 4u);
+  EXPECT_NE(hits[0].message.find("sleep_for"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("backoff"), std::string::npos);
+  EXPECT_EQ(hits[1].line, 5u);
+  EXPECT_NE(hits[1].message.find("yield"), std::string::npos);
+}
+
+TEST(GclintBlocking, AtomicWaitAndNotifyAreFlagged) {
+  const std::vector<SourceFile> files = {{"src/gcached/runtime.hpp", R"cpp(
+GC_HOT_REGION_BEGIN(gcached_access)
+inline void park(std::atomic<int>& flag) {
+  flag.wait(0);
+  flag.notify_all();
+}
+GC_HOT_REGION_END(gcached_access)
+)cpp"}};
+  const auto hits =
+      findings_for_rule(gclint::lint(files), "hot-region-blocking");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_NE(hits[0].message.find("wait"), std::string::npos);
+  EXPECT_NE(hits[1].message.find("notify_all"), std::string::npos);
+}
+
+TEST(GclintBlocking, ShardLockHomeBackoffIsExempt) {
+  // The randomized-backoff sleeps ARE shard_lock.hpp's job.
+  const std::vector<SourceFile> files = {{"src/gcached/shard_lock.hpp", R"cpp(
+GC_HOT_REGION_BEGIN(shard_lock_acquire)
+inline void backoff() {
+  std::this_thread::sleep_for(std::chrono::nanoseconds(64));
+  std::this_thread::yield();
+}
+GC_HOT_REGION_END(shard_lock_acquire)
+)cpp"}};
+  EXPECT_TRUE(
+      findings_for_rule(gclint::lint(files), "hot-region-blocking").empty());
+}
+
+TEST(GclintBlocking, SleepOutsideAnyRegionIsNotBlockingFinding) {
+  const std::vector<SourceFile> files = {{"src/sim/runner.hpp", R"cpp(
+inline void settle() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+)cpp"}};
+  EXPECT_TRUE(
+      findings_for_rule(gclint::lint(files), "hot-region-blocking").empty());
+}
+
+// ---- lock-discipline --------------------------------------------------------
+
+TEST(GclintLockDiscipline, SleepUnderShardGuardIsFlagged) {
+  // The planted fixture the issue requires: a synchronous backend fill slept
+  // while the shard guard is live (the sharded_cache.hpp pattern, minus its
+  // sanctioning ALLOW).
+  const std::vector<SourceFile> files = {{"src/gcached/cache.hpp", R"cpp(
+namespace g {
+inline void access(Shard& shard, ClientContext& ctx, BackoffConfig cfg) {
+  ShardGuard guard(shard.lock, ctx, cfg);
+  std::this_thread::sleep_for(std::chrono::nanoseconds(100));
+}
+}
+)cpp"}};
+  const auto hits = findings_for_rule(gclint::lint(files), "lock-discipline");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 5u);
+  EXPECT_NE(hits[0].message.find("blocking call 'sleep_for'"),
+            std::string::npos);
+  EXPECT_NE(hits[0].message.find("'guard' (line 4)"), std::string::npos);
+}
+
+TEST(GclintLockDiscipline, SecondGuardIsDeadlockRisk) {
+  const std::vector<SourceFile> files = {{"src/gcached/cache.hpp", R"cpp(
+inline void transfer(Shard& a, Shard& b, ClientContext& ctx,
+                     BackoffConfig cfg) {
+  ShardGuard ga(a.lock, ctx, cfg);
+  ShardGuard gb(b.lock, ctx, cfg);
+}
+)cpp"}};
+  const auto hits = findings_for_rule(gclint::lint(files), "lock-discipline");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 5u);
+  EXPECT_NE(hits[0].message.find("deadlock risk"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("'ga'"), std::string::npos);
+}
+
+TEST(GclintLockDiscipline, AllocationAndGrowthUnderGuardAreFlagged) {
+  const std::vector<SourceFile> files = {{"src/gcached/cache.hpp", R"cpp(
+inline void fill(Shard& shard, ClientContext& ctx, BackoffConfig cfg) {
+  ShardGuard guard(shard.lock, ctx, cfg);
+  shard.items.push_back(1);
+  auto p = std::make_unique<int>(2);
+}
+)cpp"}};
+  const auto hits = findings_for_rule(gclint::lint(files), "lock-discipline");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].line, 4u);
+  EXPECT_NE(hits[0].message.find("container growth 'push_back'"),
+            std::string::npos);
+  EXPECT_EQ(hits[1].line, 5u);
+  EXPECT_NE(hits[1].message.find("allocation 'make_unique'"),
+            std::string::npos);
+}
+
+TEST(GclintLockDiscipline, FileIoUnderGuardIsFlagged) {
+  const std::vector<SourceFile> files = {{"src/gcached/cache.hpp", R"cpp(
+inline void dump(Shard& shard, ClientContext& ctx, BackoffConfig cfg) {
+  SharedShardGuard guard(shard.lock, ctx, cfg);
+  std::ofstream out(shard.path);
+}
+)cpp"}};
+  const auto hits = findings_for_rule(gclint::lint(files), "lock-discipline");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 4u);
+  EXPECT_NE(hits[0].message.find("file I/O 'ofstream'"), std::string::npos);
+}
+
+TEST(GclintLockDiscipline, GuardDiesAtItsClosingBrace) {
+  // The per-shard-snapshot pattern of collect_stats(): each iteration's guard
+  // dies at the loop's closing brace, so blocking work after the loop is
+  // legal, and a free function named like a growth member is not growth.
+  const std::vector<SourceFile> files = {{"src/gcached/cache.hpp", R"cpp(
+inline void collect(Shards& shards, ClientContext& ctx, BackoffConfig cfg) {
+  for (auto& shard : shards) {
+    ShardGuard guard(shard.lock, ctx, cfg);
+    shard.apply();
+    insert(1);
+  }
+  std::this_thread::sleep_for(std::chrono::nanoseconds(1));
+}
+)cpp"}};
+  EXPECT_TRUE(findings_for_rule(gclint::lint(files), "lock-discipline").empty());
+}
+
+TEST(GclintLockDiscipline, LockHomeAndTestsAreExempt) {
+  const char* kGuardThenSleep = R"cpp(
+inline void acquire(Shard& shard, ClientContext& ctx, BackoffConfig cfg) {
+  ShardGuard guard(shard.lock, ctx, cfg);
+  std::this_thread::sleep_for(std::chrono::nanoseconds(64));
+}
+)cpp";
+  const std::vector<SourceFile> files = {
+      {"src/gcached/shard_lock.hpp", kGuardThenSleep},
+      {"tests/test_gcached.cpp", kGuardThenSleep}};
+  EXPECT_TRUE(findings_for_rule(gclint::lint(files), "lock-discipline").empty());
+}
+
+// ---- hot-region-transitive --------------------------------------------------
+
+TEST(GclintTransitive, AllocationInCalleeReachableFromRegionIsFlagged) {
+  const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
+namespace g {
+GC_HOT_REGION_BEGIN(per_access)
+inline void step(int x) { refill(x); }
+GC_HOT_REGION_END(per_access)
+inline void refill(int x) { int* p = new int[x]; }
+}
+)cpp"}};
+  const auto hits =
+      findings_for_rule(gclint::lint(files), "hot-region-transitive");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 6u);
+  EXPECT_NE(hits[0].message.find("allocation 'new'"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("'refill'"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("per_access"), std::string::npos);
+}
+
+TEST(GclintTransitive, FindingCarriesTheReachPathAcrossHops) {
+  const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
+GC_HOT_REGION_BEGIN(per_access)
+inline void step(int x) { level1(x); }
+GC_HOT_REGION_END(per_access)
+inline void level1(int x) { level2(x); }
+inline void level2(int x) { if (x < 0) throw BadAccess(); }
+)cpp"}};
+  const auto hits =
+      findings_for_rule(gclint::lint(files), "hot-region-transitive");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 6u);
+  EXPECT_NE(hits[0].message.find("'throw'"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("level1 -> level2"), std::string::npos);
+}
+
+TEST(GclintTransitive, RawLockInCalleeIsFlagged) {
+  const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
+GC_HOT_REGION_BEGIN(per_access)
+inline void step(int x) { locked_path(x); }
+GC_HOT_REGION_END(per_access)
+inline void locked_path(int x) {
+  std::lock_guard<std::mutex> l(mu);
+}
+)cpp"}};
+  const auto hits =
+      findings_for_rule(gclint::lint(files), "hot-region-transitive");
+  // lock_guard and mutex both sit on line 6; each primitive reports once.
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].line, 6u);
+  EXPECT_NE(hits[0].message.find("lock_guard"), std::string::npos);
+}
+
+TEST(GclintTransitive, PureCalleesAndUnreachableImpurityAreClean) {
+  // `refill` allocates but is only called from cold code; `scale` is reached
+  // from the region but is pure — neither may fire.
+  const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
+GC_HOT_REGION_BEGIN(per_access)
+inline int step(int x) { return scale(x); }
+GC_HOT_REGION_END(per_access)
+inline int scale(int x) { return x * 2; }
+inline void cold_setup(int x) { refill(x); }
+inline void refill(int x) { int* p = new int[x]; }
+)cpp"}};
+  EXPECT_TRUE(
+      findings_for_rule(gclint::lint(files), "hot-region-transitive").empty());
+}
+
+TEST(GclintTransitive, AllowAtTheCalleeSiteSuppresses) {
+  const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
+GC_HOT_REGION_BEGIN(per_access)
+inline void step(int x) { refill(x); }
+GC_HOT_REGION_END(per_access)
+inline void refill(int x) {
+  // GCLINT-ALLOW(hot-region-transitive): amortized refill, once per window
+  int* p = new int[x];
+}
+)cpp"}};
+  EXPECT_TRUE(
+      findings_for_rule(gclint::lint(files), "hot-region-transitive").empty());
+}
+
+// ---- layering ---------------------------------------------------------------
+
+const char* kLayersSpec =
+    "# bottom-up, same-line dirs share a tier\n"
+    "util\n"
+    "core obs\n"
+    "sim\n";
+
+std::vector<Finding> lint_layered(const std::vector<SourceFile>& files) {
+  gclint::LintOptions options;
+  options.layers_spec = kLayersSpec;
+  return findings_for_rule(gclint::lint(files, options), "layering");
+}
+
+TEST(GclintLayering, BackEdgeIncludeIsFlagged) {
+  // The planted fixture the issue requires: a lower tier reaching up.
+  const std::vector<SourceFile> files = {
+      {"src/util/helpers.hpp", "#include \"sim/runner.hpp\"\nint a;\n"},
+      {"src/sim/runner.hpp", "int r;\n"}};
+  const auto hits = lint_layered(files);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].path, "src/util/helpers.hpp");
+  EXPECT_EQ(hits[0].line, 1u);
+  EXPECT_NE(hits[0].message.find("back-edge"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("tier 0"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("tier 2"), std::string::npos);
+}
+
+TEST(GclintLayering, DownwardAndSameTierIncludesAreClean) {
+  const std::vector<SourceFile> files = {
+      {"src/sim/runner.hpp", "#include \"core/stats.hpp\"\n"},
+      {"src/core/stats.hpp",
+       "#include \"obs/registry.hpp\"\n#include \"util/csv.hpp\"\n"},
+      {"src/obs/registry.hpp", "#include \"util/csv.hpp\"\n"},
+      {"src/util/csv.hpp", "int c;\n"}};
+  EXPECT_TRUE(lint_layered(files).empty());
+}
+
+TEST(GclintLayering, UndeclaredDirectoryIsFlagged) {
+  const std::vector<SourceFile> files = {
+      {"src/rogue/x.hpp", "int x;\n"},
+      {"src/core/a.hpp", "#include \"rogue/x.hpp\"\n"}};
+  const auto hits = lint_layered(files);
+  // Once for the rogue file itself, once at the include that reaches it.
+  ASSERT_EQ(hits.size(), 2u);
+  for (const Finding& f : hits)
+    EXPECT_NE(f.message.find("not declared in the layer DAG"),
+              std::string::npos);
+}
+
+TEST(GclintLayering, IncludeCycleIsFlaggedOnce) {
+  const std::vector<SourceFile> files = {
+      {"src/core/a.hpp", "#include \"core/b.hpp\"\n"},
+      {"src/core/b.hpp", "#include \"core/a.hpp\"\n"}};
+  const auto hits = lint_layered(files);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("include cycle"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("src/core/a.hpp"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("src/core/b.hpp"), std::string::npos);
+}
+
+TEST(GclintLayering, RuleIsSkippedWithoutALayersSpec) {
+  const std::vector<SourceFile> files = {
+      {"src/util/helpers.hpp", "#include \"sim/runner.hpp\"\n"},
+      {"src/sim/runner.hpp", "int r;\n"}};
+  EXPECT_TRUE(findings_for_rule(gclint::lint(files), "layering").empty());
+}
+
+// ---- allow-hygiene / --list-allows ------------------------------------------
+
+TEST(GclintAllowHygiene, EmptyReasonIsFlagged) {
+  const std::vector<SourceFile> files = {
+      {"src/core/a.hpp", "int x; // GCLINT-ALLOW(no-cout):\n"}};
+  const auto hits = findings_for_rule(gclint::lint(files), "allow-hygiene");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 1u);
+  EXPECT_NE(hits[0].message.find("without a reason"), std::string::npos);
+}
+
+TEST(GclintAllowHygiene, UnknownRuleIsFlagged) {
+  const std::vector<SourceFile> files = {
+      {"src/core/a.hpp",
+       "int x; // GCLINT-ALLOW(no-such-rule): because reasons\n"}};
+  const auto hits = findings_for_rule(gclint::lint(files), "allow-hygiene");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("no-such-rule"), std::string::npos);
+}
+
+TEST(GclintAllowHygiene, AllowHygieneCannotSuppressItself) {
+  const std::vector<SourceFile> files = {
+      {"src/core/a.hpp", "int x; // GCLINT-ALLOW(allow-hygiene):\n"}};
+  EXPECT_EQ(
+      findings_for_rule(gclint::lint(files), "allow-hygiene").size(), 1u);
+}
+
+TEST(GclintAllowHygiene, CommaListSuppressesEveryNamedRule) {
+  // The sharded_cache.hpp sanctioning pattern: one annotation covering both
+  // the guard-lifetime rule and the hot-region blocking rule.
+  const std::vector<SourceFile> files = {{"src/gcached/cache.hpp", R"cpp(
+GC_HOT_REGION_BEGIN(gcached_access)
+inline void access(Shard& shard, ClientContext& ctx, BackoffConfig cfg) {
+  ShardGuard guard(shard.lock, ctx, cfg);
+  // GCLINT-ALLOW(lock-discipline, hot-region-blocking): simulated fill
+  std::this_thread::sleep_for(std::chrono::nanoseconds(1));
+}
+GC_HOT_REGION_END(gcached_access)
+)cpp"}};
+  EXPECT_TRUE(gclint::lint(files).empty());
+}
+
+TEST(GclintAllowHygiene, AnnotationBridgesContiguousCommentLines) {
+  const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
+GC_HOT_REGION_BEGIN(per_access)
+// GCLINT-ALLOW(hot-region-cold-contract): measured, fires once per run
+// (the check guards a once-per-run rebuild, not the per-access path)
+inline void step(int x) { GC_CHECK(x >= 0, ""); }
+GC_HOT_REGION_END(per_access)
+)cpp"}};
+  EXPECT_TRUE(gclint::lint(files).empty());
+}
+
+TEST(GclintAllowHygiene, BlankLineBreaksTheSuppressionChain) {
+  const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
+GC_HOT_REGION_BEGIN(per_access)
+// GCLINT-ALLOW(hot-region-cold-contract): stale annotation
+
+inline void step(int x) { GC_CHECK(x >= 0, ""); }
+GC_HOT_REGION_END(per_access)
+)cpp"}};
+  EXPECT_EQ(findings_for_rule(gclint::lint(files), "hot-region-cold-contract")
+                .size(),
+            1u);
+}
+
+TEST(GclintAllowHygiene, ListAllowsReportsEverySite) {
+  const std::vector<SourceFile> files = {
+      {"src/core/a.hpp",
+       "// GCLINT-ALLOW(no-cout): tooling hook\n"
+       "int x;\n"
+       "// GCLINT-ALLOW(lock-discipline, hot-region-blocking): simulated "
+       "fill\n"},
+      {"src/core/b.hpp", "// GCLINT-ALLOW(rng-discipline):\n"}};
+  const auto sites = gclint::list_allows(files);
+  ASSERT_EQ(sites.size(), 3u);
+  EXPECT_EQ(sites[0].path, "src/core/a.hpp");
+  EXPECT_EQ(sites[0].line, 1u);
+  ASSERT_EQ(sites[0].rules.size(), 1u);
+  EXPECT_EQ(sites[0].rules[0], "no-cout");
+  EXPECT_EQ(sites[0].reason, "tooling hook");
+  EXPECT_EQ(sites[1].line, 3u);
+  ASSERT_EQ(sites[1].rules.size(), 2u);
+  EXPECT_EQ(sites[1].rules[0], "lock-discipline");
+  EXPECT_EQ(sites[1].rules[1], "hot-region-blocking");
+  EXPECT_EQ(sites[2].path, "src/core/b.hpp");
+  EXPECT_TRUE(sites[2].reason.empty());
+}
+
+// ---- SARIF ------------------------------------------------------------------
+
+TEST(GclintSarif, EmitsTheStableSarif21Shape) {
+  const std::vector<Finding> findings = {
+      {"src/core/x.hpp", 12, "no-cout", "terminal output"},
+      {"src/gcached/y.hpp", 7, "lock-discipline", "said \"no\"\n"}};
+  const std::string sarif = gclint::to_sarif(findings);
+  EXPECT_NE(sarif.find("\"$schema\": "
+                       "\"https://json.schemastore.org/sarif-2.1.0.json\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"gclint\""), std::string::npos);
+  // The driver advertises the full rule catalog.
+  for (const gclint::RuleInfo& r : gclint::rule_catalog())
+    EXPECT_NE(sarif.find("\"id\": \"" + r.id + "\""), std::string::npos);
+  // Results carry ruleId, level, message, and a physical location anchored
+  // to the repo-relative URI under SRCROOT.
+  EXPECT_NE(sarif.find("\"ruleId\": \"no-cout\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"lock-discipline\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/core/x.hpp\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uriBaseId\": \"SRCROOT\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 12"), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 7"), std::string::npos);
+  // JSON escaping: the quote and newline in the message must be escaped.
+  EXPECT_NE(sarif.find("said \\\"no\\\"\\n"), std::string::npos);
+  EXPECT_EQ(sarif.find("said \"no\"\n"), std::string::npos);
+}
+
+TEST(GclintSarif, RuleIndexBackReferencesTheCatalog) {
+  // ruleIndex must point at the catalog entry whose id matches the result's
+  // ruleId (code scanning joins on it).
+  const auto& catalog = gclint::rule_catalog();
+  std::size_t expect_index = catalog.size();
+  for (std::size_t i = 0; i < catalog.size(); ++i)
+    if (catalog[i].id == "no-cout") expect_index = i;
+  ASSERT_LT(expect_index, catalog.size());
+  const std::string sarif =
+      gclint::to_sarif({{"src/core/x.hpp", 1, "no-cout", "m"}});
+  EXPECT_NE(
+      sarif.find("\"ruleIndex\": " + std::to_string(expect_index)),
+      std::string::npos);
+}
+
+TEST(GclintSarif, EmptyFindingsStillEmitAValidRun) {
+  const std::string sarif = gclint::to_sarif({});
+  EXPECT_NE(sarif.find("\"results\": ["), std::string::npos);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_EQ(sarif.find("\"ruleId\""), std::string::npos);
 }
 
 // ---- rendering --------------------------------------------------------------

@@ -1,0 +1,238 @@
+// Unit tests for gclint's hand-rolled C++ lexer (tools/gclint/lexer.hpp)
+// and the regressions that motivated it. gclint v1 matched rules on
+// regex-stripped text; the stripper had two latent desync bugs that these
+// tests pin under the new lexer:
+//
+//   1. an encoding-prefixed raw string (u8R"(...)", LR"(...)") was not
+//      recognized as raw — with an odd number of quotes inside, stripping
+//      desynchronized for the REST OF THE FILE, silently disabling every
+//      rule below the literal;
+//   2. a line splice (backslash-newline) inside a normal string literal
+//      consumed the newline, shifting every subsequent line number.
+//
+// The fixtures below assert both at the token level (kinds, contents, line
+// numbers) and end-to-end (a rule finding AFTER the hostile literal lands on
+// the correct line).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gclint.hpp"
+#include "lexer.hpp"
+
+namespace {
+
+using gclint::lex;
+using gclint::Tok;
+using gclint::Token;
+
+std::vector<Token> no_comments(const std::vector<Token>& toks) {
+  std::vector<Token> out;
+  for (const Token& t : toks)
+    if (t.kind != Tok::kComment) out.push_back(t);
+  return out;
+}
+
+TEST(GclintLexer, TokensCarryKindTextLineColumn) {
+  const auto toks = lex("int x = 42;\nreturn x;\n");
+  ASSERT_GE(toks.size(), 8u);
+  EXPECT_EQ(toks[0].kind, Tok::kIdent);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[0].line, 1u);
+  EXPECT_EQ(toks[0].col, 1u);
+  EXPECT_EQ(toks[2].kind, Tok::kPunct);
+  EXPECT_EQ(toks[2].text, "=");
+  EXPECT_EQ(toks[3].kind, Tok::kNumber);
+  EXPECT_EQ(toks[3].text, "42");
+  EXPECT_EQ(toks[5].text, "return");
+  EXPECT_EQ(toks[5].line, 2u);
+}
+
+TEST(GclintLexer, CommentsAreTokensWithFullText) {
+  const auto toks = lex("x; // GCLINT-ALLOW(no-cout): reason\n/* block */ y;");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[2].kind, Tok::kComment);
+  EXPECT_EQ(toks[2].text, "// GCLINT-ALLOW(no-cout): reason");
+  EXPECT_EQ(toks[3].kind, Tok::kComment);
+  EXPECT_EQ(toks[3].text, "/* block */");
+  EXPECT_EQ(toks[3].line, 2u);
+}
+
+TEST(GclintLexer, StringAndCharContentsNeverBecomeTokens) {
+  const auto toks =
+      lex("const char* s = \"mutex // \\\" sleep_for\"; char c = '\"';");
+  for (const Token& t : toks) {
+    EXPECT_NE(t.text, "mutex");
+    EXPECT_NE(t.text, "sleep_for");
+  }
+  // The literal's content is carried on the string token itself.
+  bool saw = false;
+  for (const Token& t : toks)
+    if (t.kind == Tok::kString) {
+      EXPECT_NE(t.text.find("mutex"), std::string::npos);
+      saw = true;
+    }
+  EXPECT_TRUE(saw);
+}
+
+TEST(GclintLexer, RawStringWithHostileContentKeepsLineNumbers) {
+  // The v1 stripper's raw-string handling was the motivating bug class: a
+  // raw literal containing // and " must neither emit phantom tokens nor
+  // shift the lines of what follows.
+  const std::string src =
+      "auto r = R\"(quote \" and // comment and )\\\" )\";\n"
+      "int after = 1;\n";
+  const auto toks = lex(src);
+  bool saw_after = false;
+  for (const Token& t : toks) {
+    if (t.kind == Tok::kIdent && t.text == "after") {
+      EXPECT_EQ(t.line, 2u);
+      saw_after = true;
+    }
+    EXPECT_NE(t.text, "comment");
+  }
+  EXPECT_TRUE(saw_after);
+}
+
+TEST(GclintLexer, RawStringDelimitersAreRespected) {
+  const std::string src =
+      "auto r = R\"cpp(inner )\" not the end; still raw)cpp\";\nint z;\n";
+  const auto toks = lex(src);
+  ASSERT_GE(toks.size(), 4u);
+  bool saw_raw = false;
+  for (const Token& t : toks)
+    if (t.kind == Tok::kRawString) {
+      EXPECT_EQ(t.text, "inner )\" not the end; still raw");
+      saw_raw = true;
+    }
+  EXPECT_TRUE(saw_raw);
+  EXPECT_EQ(toks.back().text, ";");
+  EXPECT_EQ(toks.back().line, 2u);
+}
+
+TEST(GclintLexer, EncodingPrefixedRawStringsAreRaw) {
+  // Pinned regression (v1 stripper bug 1): u8R"(...)" with an odd number of
+  // inner quotes desynchronized the stripper for the rest of the file.
+  for (const char* prefix : {"R", "LR", "uR", "UR", "u8R"}) {
+    const std::string src = std::string("auto r = ") + prefix +
+                            "\"(one \" quote)\";\nint marker = 7;\n";
+    const auto toks = lex(src);
+    bool saw_marker = false;
+    for (const Token& t : toks)
+      if (t.kind == Tok::kIdent && t.text == "marker") {
+        EXPECT_EQ(t.line, 2u) << "prefix " << prefix;
+        saw_marker = true;
+      }
+    EXPECT_TRUE(saw_marker) << "prefix " << prefix;
+  }
+}
+
+TEST(GclintLexer, SpliceInsideStringKeepsLineNumbers) {
+  // Pinned regression (v1 stripper bug 2): the spliced newline inside a
+  // string literal was swallowed, shifting all later line numbers.
+  const std::string src = "const char* s = \"ab\\\ncd\";\nint marker = 1;\n";
+  const auto toks = lex(src);
+  bool saw = false;
+  for (const Token& t : toks)
+    if (t.kind == Tok::kIdent && t.text == "marker") {
+      EXPECT_EQ(t.line, 3u);  // line 1 continues onto physical line 2
+      saw = true;
+    }
+  EXPECT_TRUE(saw);
+}
+
+TEST(GclintLexer, SplicedIdentifiersJoinAcrossLines) {
+  const auto toks = no_comments(lex("mu\\\ntex m;\n"));
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, Tok::kIdent);
+  EXPECT_EQ(toks[0].text, "mutex");
+  EXPECT_EQ(toks[0].line, 1u);
+}
+
+TEST(GclintLexer, DigitSeparatorsStayInsideNumbers) {
+  // 1'000'000 must lex as ONE number; a naive lexer opens a char literal at
+  // the separator and derails.
+  const auto toks = lex("std::size_t n = 1'000'000; int after = 2;");
+  bool saw = false;
+  for (const Token& t : toks) {
+    if (t.kind == Tok::kNumber && t.text == "1'000'000") saw = true;
+    EXPECT_NE(t.kind, Tok::kCharLit);
+  }
+  EXPECT_TRUE(saw);
+  EXPECT_EQ(toks.back().text, ";");
+}
+
+TEST(GclintLexer, PreprocessorDirectivesAreFlagged) {
+  const auto toks = lex("#include \"core/stats.hpp\"\n#define F(x) g(x)\nh();\n");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, Tok::kPpDirective);
+  EXPECT_EQ(toks[0].text, "include");
+  EXPECT_EQ(toks[1].kind, Tok::kString);
+  EXPECT_EQ(toks[1].text, "core/stats.hpp");
+  EXPECT_TRUE(toks[1].in_directive);
+  // Every token of the #define line is in_directive; h() is not.
+  for (const Token& t : toks) {
+    if (t.line == 2) {
+      EXPECT_TRUE(t.in_directive) << t.text;
+    }
+    if (t.line == 3) {
+      EXPECT_FALSE(t.in_directive) << t.text;
+    }
+  }
+}
+
+TEST(GclintLexer, SplicedDirectiveCoversContinuationLines) {
+  const auto toks = lex("#define F(x) \\\n  g(x)\nh();\n");
+  for (const Token& t : toks) {
+    if (t.text == "g") {
+      EXPECT_TRUE(t.in_directive);
+    }
+    if (t.text == "h") {
+      EXPECT_FALSE(t.in_directive);
+    }
+  }
+}
+
+TEST(GclintLexer, UnterminatedConstructsRunToEofWithoutThrowing) {
+  EXPECT_NO_THROW(lex("const char* s = \"unterminated"));
+  EXPECT_NO_THROW(lex("/* unterminated block"));
+  EXPECT_NO_THROW(lex("auto r = R\"(unterminated raw"));
+  EXPECT_NO_THROW(lex("auto r = R\"delimtoolongtobelegalxx(body"));
+}
+
+TEST(GclintLexer, ScopeResolutionIsOneToken) {
+  const auto toks = lex("obs::record(1);");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "obs");
+  EXPECT_EQ(toks[1].kind, Tok::kPunct);
+  EXPECT_EQ(toks[1].text, "::");
+}
+
+// ---- end-to-end: the v1 desync bugs, pinned through lint() -----------------
+
+TEST(GclintLexerRegression, RuleFindingAfterHostileRawStringLandsOnRightLine) {
+  // Under the v1 stripper this fixture desynchronized at the u8R literal
+  // (odd quote count) and the rand() below was never seen; under the lexer
+  // the finding lands exactly on line 3.
+  const std::vector<gclint::SourceFile> files = {{"src/traces/gen.cpp",
+                                                  "const char* s = u8R\"(one \" quote)\";\n"
+                                                  "int ok = 0;\n"
+                                                  "int r = rand();\n"}};
+  const auto findings = gclint::lint(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "rng-discipline");
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(GclintLexerRegression, FindingAfterSplicedStringLandsOnRightLine) {
+  const std::vector<gclint::SourceFile> files = {{"src/traces/gen.cpp",
+                                                  "const char* s = \"ab\\\ncd\";\n"
+                                                  "int r = rand();\n"}};
+  const auto findings = gclint::lint(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "rng-discipline");
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+}  // namespace

@@ -1,0 +1,325 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace gclint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Cursor over the raw source that makes line splices invisible: `peek` /
+/// `get` skip `\`+newline (and `\`+CRLF) pairs while the line counter keeps
+/// tracking physical lines. Raw string bodies bypass it (see lex_raw_string)
+/// because phase-1/2 processing does not apply inside them.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& src) : src_(src) { skip_splices(); }
+
+  bool eof() const { return i_ >= src_.size(); }
+  std::size_t line() const { return line_; }
+  std::size_t col() const { return col_; }
+  std::size_t pos() const { return i_; }
+
+  char peek(std::size_t ahead = 0) const {
+    // Splice-transparent lookahead: walk forward over splices.
+    std::size_t j = i_;
+    for (std::size_t n = 0;; ++n) {
+      if (j >= src_.size()) return '\0';
+      if (n == ahead) return src_[j];
+      j = next_index(j);
+    }
+  }
+
+  char get() {
+    const char c = src_[i_];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++i_;
+    skip_splices();
+    return c;
+  }
+
+  /// Raw advance used inside raw string literals: no splice skipping.
+  char get_raw() {
+    const char c = src_[i_];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++i_;
+    return c;
+  }
+
+  /// Re-enables splice skipping after a raw section (call once done).
+  void resync() { skip_splices(); }
+
+ private:
+  std::size_t splice_len(std::size_t j) const {
+    if (src_[j] != '\\') return 0;
+    if (j + 1 < src_.size() && src_[j + 1] == '\n') return 2;
+    if (j + 2 < src_.size() && src_[j + 1] == '\r' && src_[j + 2] == '\n')
+      return 3;
+    return 0;
+  }
+
+  std::size_t next_index(std::size_t j) const {
+    ++j;
+    while (j < src_.size()) {
+      const std::size_t s = splice_len(j);
+      if (s == 0) break;
+      j += s;
+    }
+    return j;
+  }
+
+  void skip_splices() {
+    while (i_ < src_.size()) {
+      const std::size_t s = splice_len(i_);
+      if (s == 0) break;
+      // The spliced-away newline is still a physical line.
+      i_ += s;
+      ++line_;
+      col_ = 1;
+    }
+  }
+
+  const std::string& src_;
+  std::size_t i_ = 0;
+  std::size_t line_ = 1;
+  std::size_t col_ = 1;
+};
+
+bool is_string_prefix(const std::string& s) {
+  return s == "u8" || s == "u" || s == "U" || s == "L";
+}
+
+bool is_raw_prefix(const std::string& s) {
+  return s == "R" || s == "LR" || s == "uR" || s == "UR" || s == "u8R";
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  Cursor cur(src);
+  bool in_directive = false;
+  bool line_has_token = false;  // any non-comment token on this logical line
+
+  auto push = [&](Tok kind, std::string text, std::size_t line,
+                  std::size_t col) {
+    out.push_back({kind, std::move(text), line, col, in_directive});
+  };
+
+  // Consumes a quoted/char literal body after the opening delimiter; returns
+  // the content (escapes kept verbatim, so "\n" stays two chars of text).
+  auto lex_quoted = [&](char quote) {
+    std::string content;
+    while (!cur.eof()) {
+      const char c = cur.peek();
+      if (c == '\\') {
+        content += cur.get();
+        if (!cur.eof()) content += cur.get();
+        continue;
+      }
+      if (c == quote) {
+        cur.get();
+        break;
+      }
+      if (c == '\n') break;  // unterminated: stop at end of line
+      content += cur.get();
+    }
+    return content;
+  };
+
+  // After the opening `"` of a raw string: scan `delim(`, then raw content
+  // to `)delim"`. No splice processing applies inside.
+  auto lex_raw_string = [&] {
+    std::string delim;
+    while (!cur.eof() && cur.peek() != '(' && cur.peek() != '\n' &&
+           delim.size() < 16)
+      delim += cur.get_raw();
+    if (cur.eof() || cur.peek() != '(') return std::string();  // malformed
+    cur.get_raw();  // '('
+    const std::string closer = ")" + delim + "\"";
+    std::string content;
+    while (!cur.eof()) {
+      if (cur.peek() == ')') {
+        // Probe for the closer without consuming on mismatch.
+        const std::size_t start = cur.pos();
+        if (src.compare(start, closer.size(), closer) == 0) {
+          for (std::size_t k = 0; k < closer.size(); ++k) cur.get_raw();
+          cur.resync();
+          return content;
+        }
+      }
+      content += cur.get_raw();
+    }
+    cur.resync();
+    return content;  // unterminated: ran to EOF
+  };
+
+  while (!cur.eof()) {
+    const char c = cur.peek();
+    const std::size_t line = cur.line();
+    const std::size_t col = cur.col();
+
+    if (c == '\n') {
+      cur.get();
+      in_directive = false;
+      line_has_token = false;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      cur.get();
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && cur.peek(1) == '/') {
+      std::string text;
+      while (!cur.eof() && cur.peek() != '\n') text += cur.get();
+      push(Tok::kComment, std::move(text), line, col);
+      continue;
+    }
+    if (c == '/' && cur.peek(1) == '*') {
+      std::string text;
+      text += cur.get();
+      text += cur.get();
+      while (!cur.eof()) {
+        if (cur.peek() == '*' && cur.peek(1) == '/') {
+          text += cur.get();
+          text += cur.get();
+          break;
+        }
+        text += cur.get();
+      }
+      push(Tok::kComment, std::move(text), line, col);
+      continue;
+    }
+
+    // Preprocessor directive: '#' as the first token of a logical line.
+    if (c == '#' && !line_has_token) {
+      cur.get();
+      while (!cur.eof() && (cur.peek() == ' ' || cur.peek() == '\t'))
+        cur.get();
+      std::string name;
+      while (!cur.eof() && ident_char(cur.peek())) name += cur.get();
+      in_directive = true;
+      line_has_token = true;
+      push(Tok::kPpDirective, std::move(name), line, col);
+      continue;
+    }
+
+    // Identifier — or a string/char/raw-string literal prefix.
+    if (ident_start(c)) {
+      std::string text;
+      while (!cur.eof() && ident_char(cur.peek())) text += cur.get();
+      if (!cur.eof() && cur.peek() == '"' && is_raw_prefix(text)) {
+        cur.get();  // opening quote
+        push(Tok::kRawString, lex_raw_string(), line, col);
+        line_has_token = true;
+        continue;
+      }
+      if (!cur.eof() && cur.peek() == '"' &&
+          (is_string_prefix(text) || is_raw_prefix(text))) {
+        cur.get();
+        push(Tok::kString, lex_quoted('"'), line, col);
+        line_has_token = true;
+        continue;
+      }
+      if (!cur.eof() && cur.peek() == '\'' &&
+          (text == "u8" || text == "u" || text == "U" || text == "L")) {
+        cur.get();
+        push(Tok::kCharLit, lex_quoted('\''), line, col);
+        line_has_token = true;
+        continue;
+      }
+      push(Tok::kIdent, std::move(text), line, col);
+      line_has_token = true;
+      continue;
+    }
+
+    // pp-number: digit, or '.' followed by digit. Digit separators and
+    // exponent signs are part of the number, never a char literal.
+    if (digit(c) || (c == '.' && digit(cur.peek(1)))) {
+      std::string text;
+      text += cur.get();
+      while (!cur.eof()) {
+        const char n = cur.peek();
+        if (ident_char(n) || n == '.') {
+          text += cur.get();
+          continue;
+        }
+        if (n == '\'' && ident_char(cur.peek(1))) {
+          text += cur.get();
+          text += cur.get();
+          continue;
+        }
+        if ((n == '+' || n == '-') && !text.empty()) {
+          const char p = text.back();
+          if (p == 'e' || p == 'E' || p == 'p' || p == 'P') {
+            text += cur.get();
+            continue;
+          }
+        }
+        break;
+      }
+      push(Tok::kNumber, std::move(text), line, col);
+      line_has_token = true;
+      continue;
+    }
+
+    if (c == '"') {
+      cur.get();
+      push(Tok::kString, lex_quoted('"'), line, col);
+      line_has_token = true;
+      continue;
+    }
+    if (c == '\'') {
+      cur.get();
+      push(Tok::kCharLit, lex_quoted('\''), line, col);
+      line_has_token = true;
+      continue;
+    }
+
+    // Punctuators. `::` is the only multi-char one the rules inspect, but
+    // lexing the common two-char operators as single tokens keeps token
+    // streams readable in tests.
+    {
+      std::string text;
+      text += cur.get();
+      const char n = cur.eof() ? '\0' : cur.peek();
+      const char two[3] = {c, n, '\0'};
+      static const char* kTwo[] = {"::", "->", "<<", ">>", "<=", ">=", "==",
+                                   "!=", "&&", "||", "++", "--", "+=", "-=",
+                                   "*=", "/=", "|=", "&=", "^=", "%="};
+      for (const char* op : kTwo) {
+        if (two[0] == op[0] && two[1] == op[1]) {
+          text += cur.get();
+          break;
+        }
+      }
+      push(Tok::kPunct, std::move(text), line, col);
+      line_has_token = true;
+      continue;
+    }
+  }
+  return out;
+}
+
+}  // namespace gclint

@@ -1,0 +1,101 @@
+#include "sarif.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace gclint {
+
+namespace {
+
+/// JSON string escaping (control characters, quote, backslash).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  const std::vector<RuleInfo>& rules = rule_catalog();
+  std::map<std::string, std::size_t> rule_index;
+  for (std::size_t i = 0; i < rules.size(); ++i) rule_index[rules[i].id] = i;
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  os << "  \"version\": \"2.1.0\",\n";
+  os << "  \"runs\": [\n    {\n";
+  os << "      \"tool\": {\n        \"driver\": {\n";
+  os << "          \"name\": \"gclint\",\n";
+  os << "          \"version\": \"2.0.0\",\n";
+  os << "          \"informationUri\": "
+        "\"https://example.invalid/gcaching/docs/ANALYSIS.md\",\n";
+  os << "          \"rules\": [\n";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << "            {\n";
+    os << "              \"id\": \"" << json_escape(rules[i].id) << "\",\n";
+    os << "              \"shortDescription\": { \"text\": \""
+       << json_escape(rules[i].description) << "\" },\n";
+    os << "              \"defaultConfiguration\": { \"level\": \"error\" }\n";
+    os << "            }" << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n        }\n      },\n";
+  os << "      \"originalUriBaseIds\": {\n";
+  os << "        \"SRCROOT\": { \"uri\": \"file:///\" }\n";
+  os << "      },\n";
+  os << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "        {\n";
+    os << "          \"ruleId\": \"" << json_escape(f.rule) << "\",\n";
+    const auto it = rule_index.find(f.rule);
+    if (it != rule_index.end())
+      os << "          \"ruleIndex\": " << it->second << ",\n";
+    os << "          \"level\": \"error\",\n";
+    os << "          \"message\": { \"text\": \"" << json_escape(f.message)
+       << "\" },\n";
+    os << "          \"locations\": [\n            {\n";
+    os << "              \"physicalLocation\": {\n";
+    os << "                \"artifactLocation\": {\n";
+    os << "                  \"uri\": \"" << json_escape(f.path) << "\",\n";
+    os << "                  \"uriBaseId\": \"SRCROOT\"\n";
+    os << "                },\n";
+    os << "                \"region\": { \"startLine\": " << f.line
+       << " }\n";
+    os << "              }\n            }\n          ]\n";
+    os << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n    }\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace gclint

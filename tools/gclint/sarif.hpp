@@ -1,0 +1,23 @@
+// SARIF 2.1.0 rendering of gclint findings, for GitHub code scanning.
+//
+// The emitter produces the minimal stable shape code scanning consumes:
+// runs[0].tool.driver carries the full rule catalog (id + description, with
+// ruleIndex back-references from results), every result is level "error"
+// (gclint findings are build-breaking by policy), and locations use
+// repo-relative URIs under the SRCROOT uriBaseId so the viewer anchors
+// annotations without caring where the checkout lives. Output is fully
+// deterministic: findings in input order, rules in catalog order, no
+// timestamps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gclint.hpp"
+
+namespace gclint {
+
+/// Serializes `findings` as a SARIF 2.1.0 log (one run, tool "gclint").
+std::string to_sarif(const std::vector<Finding>& findings);
+
+}  // namespace gclint

@@ -107,6 +107,24 @@ class Args {
     return std::stoull(get(key));
   }
 
+  /// Signed, fully-checked integer parse: rejects non-numeric values and
+  /// trailing junk instead of wrapping or crashing, so `--shards -4` can be
+  /// validated as -4 rather than silently becoming 2^64-4.
+  long long get_i64(const std::string& key,
+                    std::optional<long long> fallback = {}) const {
+    if (!has(key) && fallback) return *fallback;
+    const std::string raw = get(key);
+    try {
+      std::size_t used = 0;
+      const long long v = std::stoll(raw, &used);
+      if (used != raw.size()) throw std::invalid_argument(raw);
+      return v;
+    } catch (const std::exception&) {
+      std::cerr << "invalid integer for --" << key << ": '" << raw << "'\n";
+      std::exit(2);
+    }
+  }
+
   double get_f64(const std::string& key,
                  std::optional<double> fallback = {}) const {
     if (!has(key) && fallback) return *fallback;
@@ -457,16 +475,24 @@ int cmd_gcached(const Args& args) {
   Workload w = load_any_workload(args.get("workload"));
   w.trace.precompute_block_ids(*w.map);
 
+  const long long shards = args.get_i64("shards", 1);
+  const long long threads = args.get_i64("threads", 1);
+  const std::string bad = gcached::validate_gcached_request(shards, threads);
+  if (!bad.empty()) {
+    std::cerr << "gcached: " << bad << "\n";
+    return 2;
+  }
+
   gcached::GcachedConfig cfg;
   cfg.capacity = args.get_u64("capacity");
-  cfg.num_shards = args.get_u64("shards", 1);
+  cfg.num_shards = static_cast<std::size_t>(shards);
   cfg.fill_latency_ns =
       static_cast<std::uint64_t>(args.get_f64("fill-us", 0.0) * 1000.0);
   const std::string spec = args.get("policy", std::string("item-lru"));
   const auto cache = gcached::make_concurrent_cache(spec, w.map, cfg);
 
   gcached::LoadSpec load;
-  load.threads = args.get_u64("threads", 1);
+  load.threads = static_cast<std::size_t>(threads);
   load.total_ops = args.get_u64("ops", 0);  // 0 = one trace pass
   load.seed = args.get_u64("seed", 1);
 
