@@ -109,6 +109,29 @@ inline std::string machine_name() {
   return buf;
 }
 
+/// Pulls `"key": "value"` out of one serialized result line. The benches'
+/// JSON writers emit one cell per line, so `--compare` readers can scan
+/// line-oriented instead of carrying a JSON parser.
+inline std::optional<std::string> json_line_string(const std::string& line,
+                                                   const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = line.find('"', begin);
+  if (end == std::string::npos) return std::nullopt;
+  return line.substr(begin, end - begin);
+}
+
+/// Pulls `"key": number` out of one serialized result line.
+inline std::optional<double> json_line_number(const std::string& line,
+                                              const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  return std::stod(line.substr(at + needle.size()));
+}
+
 /// Loud stderr banner when a --compare baseline has no provenance stamp or
 /// was measured elsewhere/elsewhen. Ratios against such a baseline can
 /// reflect machine or commit drift rather than the change under test.

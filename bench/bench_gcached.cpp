@@ -16,6 +16,7 @@
 // grid plus git_commit/machine provenance stamps (see bench_common.hpp).
 #include <chrono>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -24,6 +25,9 @@
 #include "bench_common.hpp"
 #include "gcached/gcached.hpp"
 #include "gcached/loadgen.hpp"
+#include "obs/gcmon.hpp"
+#include "obs/obs.hpp"
+#include "obs/shard_metrics.hpp"
 #include "traces/synthetic.hpp"
 #include "util/contracts.hpp"
 
@@ -33,6 +37,7 @@ namespace {
 struct Options {
   std::optional<std::string> csv_dir;
   std::string json_path = "BENCH_gcached.json";
+  std::optional<std::string> compare_path;  // previous BENCH_gcached.json
   bool quick = false;
   std::string policy = "item-lru";
   std::vector<std::size_t> shards;   // empty = default grid
@@ -40,6 +45,13 @@ struct Options {
   std::uint64_t ops = 0;             // 0 = default per-cell op count
   double fill_us = 50.0;
   std::uint64_t seed = 1;
+  /// Attach a live gcmon monitor (atlas + snapshot thread) to every cell —
+  /// the configuration the CI overhead gate measures against a plain run.
+  bool mon = false;
+  std::uint64_t mon_interval_ms = 10;
+  /// Capture per-thread hardware counters into the JSON (loud fallback to
+  /// perf_valid=false where perf_event_open is unavailable).
+  bool perf = false;
 };
 
 std::vector<std::size_t> parse_size_list(const std::string& arg) {
@@ -77,14 +89,22 @@ Options parse(int argc, char** argv) {
       opts.fill_us = std::stod(argv[++a]);
     } else if (arg == "--seed" && a + 1 < argc) {
       opts.seed = std::stoull(argv[++a]);
+    } else if (arg == "--compare" && a + 1 < argc) {
+      opts.compare_path = argv[++a];
+    } else if (arg == "--mon-interval-ms" && a + 1 < argc) {
+      opts.mon_interval_ms = std::stoull(argv[++a]);
+    } else if (arg == "--mon") {
+      opts.mon = true;
+    } else if (arg == "--perf") {
+      opts.perf = true;
     } else if (arg == "--quick") {
       opts.quick = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
-                << " [--csv DIR] [--json PATH] [--quick]"
-                << " [--policy SPEC] [--shards S[,S...]]"
+                << " [--csv DIR] [--json PATH] [--compare OLD.json]"
+                << " [--quick] [--policy SPEC] [--shards S[,S...]]"
                 << " [--threads N[,N...]] [--ops N] [--fill-us F]"
-                << " [--seed S]\n";
+                << " [--seed S] [--mon] [--mon-interval-ms M] [--perf]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
@@ -107,8 +127,80 @@ struct GridCell {
   gcached::LoadResult load;
 };
 
+/// An old BENCH_gcached.json cell, reloaded for `--compare`.
+struct OldCell {
+  std::size_t shards = 0;
+  std::size_t threads = 0;
+  double ops_per_sec = 0.0;
+};
+
+/// A previous run's JSON: provenance header plus result cells (the same
+/// line-oriented scan bench_throughput uses — the format is our own
+/// line-per-cell serialization, so this is exact).
+struct OldJson {
+  std::string git_commit;  // empty when the baseline predates stamping
+  std::string machine;
+  std::vector<OldCell> cells;
+};
+
+OldJson read_old_json(const std::string& path) {
+  std::ifstream in(path);
+  GC_REQUIRE(in.good(), "cannot open --compare file " + path);
+  OldJson old;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (const auto commit = json_line_string(line, "git_commit"))
+      old.git_commit = *commit;
+    if (const auto machine = json_line_string(line, "machine"))
+      old.machine = *machine;
+    const auto shards = json_line_number(line, "shards");
+    const auto threads = json_line_number(line, "threads");
+    const auto ops = json_line_number(line, "ops_per_sec");
+    if (shards && threads && ops)
+      old.cells.push_back({static_cast<std::size_t>(*shards),
+                           static_cast<std::size_t>(*threads), *ops});
+  }
+  GC_REQUIRE(!old.cells.empty(), "no result cells found in " + path);
+  return old;
+}
+
+const OldCell* find_old(const std::vector<OldCell>& old, std::size_t shards,
+                        std::size_t threads) {
+  for (const OldCell& c : old)
+    if (c.shards == shards && c.threads == threads) return &c;
+  return nullptr;
+}
+
+/// Per-cell throughput delta against a previous run, keyed on
+/// (shards, threads) — visible without hand-diffing two JSON files.
+void print_compare(const std::string& path, const std::vector<OldCell>& old,
+                   const std::vector<GridCell>& cells) {
+  std::cout << "\nthroughput delta vs " << path << "\n";
+  std::cout << "  " << std::right << std::setw(7) << "shards" << std::setw(8)
+            << "threads" << std::setw(14) << "old_ops_s" << std::setw(14)
+            << "new_ops_s" << std::setw(10) << "ratio" << "\n";
+  for (const GridCell& cell : cells) {
+    const OldCell* prev = find_old(old, cell.shards, cell.threads);
+    std::cout << "  " << std::setw(7) << cell.shards << std::setw(8)
+              << cell.threads;
+    if (prev == nullptr) {
+      std::cout << std::setw(14) << "-" << std::setw(14)
+                << fmti(static_cast<std::uint64_t>(cell.load.ops_per_sec))
+                << std::setw(10) << "new" << "\n";
+      continue;
+    }
+    std::cout << std::setw(14)
+              << fmti(static_cast<std::uint64_t>(prev->ops_per_sec))
+              << std::setw(14)
+              << fmti(static_cast<std::uint64_t>(cell.load.ops_per_sec))
+              << std::setw(10) << fmtr(cell.load.ops_per_sec / prev->ops_per_sec)
+              << "\n";
+  }
+}
+
 void write_json(const Options& opts, const Workload& workload,
-                std::size_t capacity, const std::vector<GridCell>& cells) {
+                std::size_t capacity, const std::vector<GridCell>& cells,
+                const std::vector<OldCell>& old) {
   std::ofstream out(opts.json_path);
   GC_REQUIRE(out.good(), "cannot open " + opts.json_path + " for writing");
   out << "{\n"
@@ -123,6 +215,7 @@ void write_json(const Options& opts, const Workload& workload,
       << "  \"capacity\": " << capacity << ",\n"
       << "  \"fill_latency_us\": " << opts.fill_us << ",\n"
       << "  \"ops_per_cell\": " << opts.ops << ",\n"
+      << "  \"mon\": " << (opts.mon ? "true" : "false") << ",\n"
       << "  \"results\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const GridCell& c = cells[i];
@@ -134,8 +227,22 @@ void write_json(const Options& opts, const Workload& workload,
         << ", \"p999_us\": " << c.load.p999_us
         << ", \"miss_rate\": " << c.load.stats.miss_rate()
         << ", \"lock_contended\": " << c.load.lock_contended
-        << ", \"backoff_rounds\": " << c.load.backoff_rounds << "}"
-        << (i + 1 < cells.size() ? "," : "") << "\n";
+        << ", \"backoff_rounds\": " << c.load.backoff_rounds
+        << ", \"backoff_ns\": " << c.load.backoff_ns;
+    // perf_valid is always emitted so readers can distinguish "counters
+    // read zero" from "perf_event_open unavailable on this machine".
+    out << ", \"perf_valid\": " << (c.load.perf.valid ? "true" : "false");
+    if (c.load.perf.valid) {
+      out << ", \"cycles\": " << c.load.perf.cycles
+          << ", \"instructions\": " << c.load.perf.instructions
+          << ", \"llc_misses\": " << c.load.perf.llc_misses
+          << ", \"context_switches\": " << c.load.perf.context_switches;
+    }
+    if (const OldCell* prev = find_old(old, c.shards, c.threads)) {
+      out << ", \"baseline_ops_per_sec\": " << prev->ops_per_sec
+          << ", \"vs_baseline\": " << c.load.ops_per_sec / prev->ops_per_sec;
+    }
+    out << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
 }
@@ -149,6 +256,12 @@ const GridCell* find_cell(const std::vector<GridCell>& cells,
 
 int run(int argc, char** argv) {
   const Options opts = parse(argc, argv);
+  if (opts.mon && !obs::kObsEnabled) {
+    std::cerr << "--mon requires an observability build (GCACHING_OBS): the "
+                 "fast preset compiles the GC_MON_* publish sites to nothing, "
+                 "so the monitor would harvest only zeros.\n";
+    return 2;
+  }
   BenchOptions table_opts;
   table_opts.csv_dir = opts.csv_dir;
   table_opts.quick = opts.quick;
@@ -181,11 +294,31 @@ int run(int argc, char** argv) {
       spec.threads = threads;
       spec.total_ops = opts.ops;
       spec.seed = opts.seed;
+      spec.perf = opts.perf;
+      // --mon reproduces the CI overhead-gate configuration: a live atlas
+      // receiving every access's counters plus a background snapshot thread
+      // harvesting on a tight interval, with no file exporters in the loop.
+      std::optional<obs::ShardAtlas> atlas;
+      std::optional<obs::Monitor> monitor;
+      if (opts.mon) {
+        atlas.emplace(shards);
+        obs::MonitorConfig mcfg;
+        mcfg.interval = std::chrono::milliseconds(opts.mon_interval_ms);
+        monitor.emplace(mcfg);
+        monitor->attach_atlas(&*atlas);
+        cache->attach_atlas(&*atlas);
+        monitor->start();
+        spec.monitor = &*monitor;
+      }
       GridCell cell;
       cell.shards = shards;
       cell.threads = threads;
       cell.load = run_load(*cache, workload.trace,
                            workload.trace.block_ids(), spec);
+      if (monitor) {
+        monitor->stop();
+        cache->attach_atlas(nullptr);
+      }
       table.add_row({fmti(shards), fmti(threads),
                      fmti(static_cast<std::uint64_t>(cell.load.ops_per_sec)),
                      fmt(cell.load.p50_us, 1), fmt(cell.load.p99_us, 1),
@@ -205,7 +338,13 @@ int run(int argc, char** argv) {
               << "x\n";
   }
 
-  write_json(opts, workload, capacity, cells);
+  OldJson old;
+  if (opts.compare_path) {
+    old = read_old_json(*opts.compare_path);
+    warn_if_stale_baseline(*opts.compare_path, old.git_commit, old.machine);
+    print_compare(*opts.compare_path, old.cells, cells);
+  }
+  write_json(opts, workload, capacity, cells, old.cells);
   std::cout << "wrote " << opts.json_path << "\n";
   return 0;
 }

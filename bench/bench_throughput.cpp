@@ -140,26 +140,8 @@ struct OldCell {
   double fast_aps = 0.0;
 };
 
-/// Pulls `"key": "value"` out of one serialized result line.
-std::optional<std::string> json_line_string(const std::string& line,
-                                            const std::string& key) {
-  const std::string needle = "\"" + key + "\": \"";
-  const std::size_t at = line.find(needle);
-  if (at == std::string::npos) return std::nullopt;
-  const std::size_t begin = at + needle.size();
-  const std::size_t end = line.find('"', begin);
-  if (end == std::string::npos) return std::nullopt;
-  return line.substr(begin, end - begin);
-}
-
-/// Pulls `"key": number` out of one serialized result line.
-std::optional<double> json_line_number(const std::string& line,
-                                       const std::string& key) {
-  const std::string needle = "\"" + key + "\": ";
-  const std::size_t at = line.find(needle);
-  if (at == std::string::npos) return std::nullopt;
-  return std::stod(line.substr(at + needle.size()));
-}
+// json_line_string / json_line_number (the line-oriented --compare readers)
+// live in bench_common.hpp, shared with bench_gcached.
 
 /// A previous run's JSON: provenance header plus result cells.
 struct OldJson {

@@ -1,7 +1,7 @@
 #include "gcached/loadgen.hpp"
 
-#include <algorithm>
 #include <chrono>
+#include <memory>
 #include <vector>
 
 #include "obs/obs.hpp"
@@ -9,18 +9,6 @@
 #include "util/contracts.hpp"
 
 namespace gcaching::gcached {
-
-namespace {
-
-/// q-th quantile of `sorted` (ascending), nearest-rank on the scaled index.
-double quantile_us(const std::vector<std::uint64_t>& sorted_ns, double q) {
-  if (sorted_ns.empty()) return 0.0;
-  const double pos = q * static_cast<double>(sorted_ns.size() - 1);
-  const std::size_t idx = static_cast<std::size_t>(pos + 0.5);
-  return static_cast<double>(sorted_ns[idx]) * 1e-3;
-}
-
-}  // namespace
 
 LoadResult run_load(ConcurrentCache& cache, const Trace& trace,
                     std::span<const BlockId> block_ids, const LoadSpec& spec) {
@@ -38,17 +26,20 @@ LoadResult run_load(ConcurrentCache& cache, const Trace& trace,
 
   struct Client {
     ClientContext ctx;
-    std::vector<std::uint64_t> latency_ns;  // one sample per op
+    obs::HdrHistogram hist;  // wait-free per-thread latency table
+    obs::PerfTotals perf;
     explicit Client(std::uint64_t seed) : ctx(seed) {}
   };
-  std::vector<Client> clients;
+  // unique_ptr elements: HdrHistogram holds atomics, so Client is neither
+  // copyable nor movable and cannot live in the vector directly.
+  std::vector<std::unique_ptr<Client>> clients;
   clients.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) {
-    clients.emplace_back(spec.seed + t);
-    // Even split, remainder to the low thread ids — sums to total_ops.
-    clients.back().latency_ns.reserve(total_ops / threads +
-                                      (t < total_ops % threads ? 1 : 0));
-  }
+  for (std::size_t t = 0; t < threads; ++t)
+    clients.push_back(std::make_unique<Client>(spec.seed + t));
+
+  if (spec.monitor != nullptr)
+    for (const std::unique_ptr<Client>& c : clients)
+      spec.monitor->add_histogram(&c->hist);
 
   const std::vector<ItemId>& accesses = trace.accesses();
   GC_OBS_SPAN(load_span, "gcached_load", "gcached");
@@ -56,25 +47,26 @@ LoadResult run_load(ConcurrentCache& cache, const Trace& trace,
   ThreadPool pool(threads);
   const auto t0 = std::chrono::steady_clock::now();
   for (std::size_t t = 0; t < threads; ++t) {
-    Client& client = clients[t];
+    Client& client = *clients[t];
     const std::uint64_t ops_t =
         total_ops / threads + (t < total_ops % threads ? 1 : 0);
-    pool.submit([&cache, &client, &accesses, block_ids, n, threads, t,
-                 ops_t] {
+    const bool perf = spec.perf;
+    pool.submit([&cache, &client, &accesses, block_ids, n, threads, t, ops_t,
+                 perf] {
       ClientContext& ctx = client.ctx;
-      std::vector<std::uint64_t>& lat = client.latency_ns;
-      std::size_t i = t;  // strided partition start
-      auto prev = std::chrono::steady_clock::now();
-      for (std::uint64_t op = 0; op < ops_t; ++op) {
-        cache.access(ctx, accesses[i], block_ids[i]);
-        const auto now = std::chrono::steady_clock::now();
-        lat.push_back(static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(now - prev)
-                .count()));
-        prev = now;
-        i += threads;
-        if (i >= n) i = t;  // wrap: restart this thread's stride
+      // Perf counters attach to the calling thread, so they must be opened
+      // here on the worker, not where the task was submitted.
+      std::unique_ptr<obs::PerfCounters> counters;
+      if (perf) {
+        counters = std::make_unique<obs::PerfCounters>();
+        counters->start();
       }
+      detail::replay_closed_loop<std::chrono::steady_clock>(
+          [&cache, &ctx, &accesses, block_ids](std::size_t i) {
+            cache.access(ctx, accesses[i], block_ids[i]);
+          },
+          t, threads, n, ops_t, client.hist);
+      if (counters != nullptr) client.perf = counters->stop();
     });
   }
   pool.wait();
@@ -88,24 +80,34 @@ LoadResult run_load(ConcurrentCache& cache, const Trace& trace,
   result.ops_per_sec =
       seconds > 0.0 ? static_cast<double>(total_ops) / seconds : 0.0;
 
-  std::vector<std::uint64_t> merged;
-  merged.reserve(total_ops);
-  for (Client& client : clients) {
-    merged.insert(merged.end(), client.latency_ns.begin(),
-                  client.latency_ns.end());
-    result.lock_acquisitions += client.ctx.lock_acquisitions;
-    result.lock_contended += client.ctx.lock_contended;
-    result.backoff_rounds += client.ctx.backoff_rounds;
+  obs::HdrHistogram merged;
+  result.perf.valid = spec.perf;  // &&-folds with each thread's validity
+  for (const std::unique_ptr<Client>& client : clients) {
+    merged.merge_from(client->hist);
+    result.lock_acquisitions += client->ctx.lock_acquisitions;
+    result.lock_contended += client->ctx.lock_contended;
+    result.backoff_rounds += client->ctx.backoff_rounds;
+    result.backoff_ns += client->ctx.backoff_ns;
+    if (spec.perf) result.perf += client->perf;
   }
-  GC_CHECK(merged.size() == total_ops,
+  GC_CHECK(merged.count() == total_ops,
            "load generator lost or duplicated operations");
-  std::sort(merged.begin(), merged.end());
-  result.p50_us = quantile_us(merged, 0.50);
-  result.p99_us = quantile_us(merged, 0.99);
-  result.p999_us = quantile_us(merged, 0.999);
-  result.max_us = static_cast<double>(merged.back()) * 1e-3;
+  result.p50_us = merged.quantile(0.50) * 1e-3;
+  result.p99_us = merged.quantile(0.99) * 1e-3;
+  result.p999_us = merged.quantile(0.999) * 1e-3;
+  result.max_us = merged.max_value() * 1e-3;
 
   result.stats = cache.collect_stats();
+
+  // Final synchronous harvest while the per-thread histograms are still
+  // registered and the clients are quiesced: guarantees one snapshot with
+  // complete latency + counters even for runs shorter than the monitor
+  // interval, and gives "stopped after run_load" callers their totals.
+  if (spec.monitor != nullptr) {
+    spec.monitor->harvest_now();
+    for (const std::unique_ptr<Client>& c : clients)
+      spec.monitor->remove_histogram(&c->hist);
+  }
 
   // Aggregate contention telemetry, once per run (the gcobs counters the
   // issue asks for; per-op emission would contend on the registry).
@@ -113,6 +115,7 @@ LoadResult run_load(ConcurrentCache& cache, const Trace& trace,
   GC_OBS_COUNT("gcached.lock_acquisitions", result.lock_acquisitions);
   GC_OBS_COUNT("gcached.lock_contended", result.lock_contended);
   GC_OBS_COUNT("gcached.backoff_rounds", result.backoff_rounds);
+  GC_OBS_COUNT("gcached.backoff_ns", result.backoff_ns);
   return result;
 }
 

@@ -9,11 +9,21 @@
 // and, at N = 1, degenerates to the original access order — that is the
 // configuration the differential test pins against simulate_fast.
 //
-// Per-operation latency is recorded with chained steady_clock reads (one
-// clock read per op) into preallocated per-thread arrays; percentiles are
-// taken over the merged sample after the run. Lock-contention telemetry
-// accumulates in each thread's ClientContext and is aggregated — and
-// emitted via GC_OBS_COUNT — once per run, never per operation.
+// Per-operation latency is recorded into per-thread gcmon HDR histograms
+// (obs/hdr_histogram.hpp): wait-free record, fixed ~34 KB per thread
+// regardless of op count, live-readable by an attached obs::Monitor, and
+// percentiles within a documented <=1% relative error of the exact
+// nearest-rank sample (bit-exact below ~256 ns). Measurement is BRACKETED —
+// two steady_clock reads per op, so the recorded latency covers exactly the
+// access() call: histogram recording, loop control, and any scheduling
+// overhang between ops are excluded. (The previous chained single-read
+// scheme attributed all inter-op time — including the tail of bookkeeping
+// after a fill — to the following op; tests/test_gcmon.cpp pins the new
+// semantics with a deterministic fake clock via detail::replay_closed_loop.)
+//
+// Lock-contention telemetry accumulates in each thread's ClientContext and
+// is aggregated — and emitted via GC_OBS_COUNT — once per run, never per
+// operation.
 //
 // With more than one thread the interleaving (hence SimStats) is
 // schedule-dependent; the conservation invariants (accesses == ops,
@@ -21,6 +31,7 @@
 // concurrent tests assert.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -28,6 +39,9 @@
 #include "core/stats.hpp"
 #include "core/trace.hpp"
 #include "gcached/sharded_cache.hpp"
+#include "obs/gcmon.hpp"
+#include "obs/hdr_histogram.hpp"
+#include "obs/perf_counters.hpp"
 
 namespace gcaching::gcached {
 
@@ -39,6 +53,16 @@ struct LoadSpec {
   std::uint64_t total_ops = 0;
   /// Base seed for the per-thread backoff-jitter RNGs.
   std::uint64_t seed = 1;
+  /// Optional live monitor. When set, run_load registers each thread's
+  /// latency histogram with it for the duration of the run and takes one
+  /// synchronous harvest after the clients quiesce (so even a sub-interval
+  /// run exports a final snapshot with complete latency and counters).
+  /// The caller owns the monitor and its atlas attachment to `cache`.
+  obs::Monitor* monitor = nullptr;
+  /// Capture per-thread hardware counters (perf_event_open) around each
+  /// client's replay loop. Falls back loudly to perf_valid=false totals on
+  /// hosts that refuse the syscall (obs/perf_counters.hpp).
+  bool perf = false;
 };
 
 struct LoadResult {
@@ -46,7 +70,8 @@ struct LoadResult {
   double seconds = 0.0;
   double ops_per_sec = 0.0;
   /// Operation-latency percentiles over every op of every thread, in
-  /// microseconds (p50 <= p99 <= p999 <= max by construction).
+  /// microseconds (p50 <= p99 <= p999 <= max by construction), read from
+  /// the merged HDR histogram (<=1% relative error, see obs/hdr_histogram).
   double p50_us = 0.0;
   double p99_us = 0.0;
   double p999_us = 0.0;
@@ -57,7 +82,37 @@ struct LoadResult {
   std::uint64_t lock_acquisitions = 0;
   std::uint64_t lock_contended = 0;
   std::uint64_t backoff_rounds = 0;
+  std::uint64_t backoff_ns = 0;
+  /// Summed per-thread hardware counters; `perf.valid` is false unless
+  /// LoadSpec::perf was set AND every thread's counters opened.
+  obs::PerfTotals perf;
 };
+
+namespace detail {
+
+/// One thread's closed-loop strided replay with bracketed latency
+/// measurement: start/end Clock reads around each access, recorded into
+/// `hist` in Clock ticks (nanoseconds for steady_clock). Templated on the
+/// clock so tests drive a deterministic fake clock and pin exactly what the
+/// recorded latency does — and does not — include.
+template <typename Clock, typename AccessFn>
+void replay_closed_loop(AccessFn&& access_one, std::size_t start,
+                        std::size_t stride, std::size_t wrap,
+                        std::uint64_t ops, obs::HdrHistogram& hist) {
+  std::size_t i = start;
+  for (std::uint64_t op = 0; op < ops; ++op) {
+    const auto t0 = Clock::now();
+    access_one(i);
+    const auto t1 = Clock::now();
+    hist.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+    i += stride;
+    if (i >= wrap) i = start;  // wrap: restart this thread's stride
+  }
+}
+
+}  // namespace detail
 
 /// Run `spec.threads` closed-loop clients over `trace` against `cache`.
 /// `block_ids` must hold each access's block id (resolve_block_ids /

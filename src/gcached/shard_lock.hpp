@@ -57,6 +57,7 @@ struct ClientContext {
   std::uint64_t lock_acquisitions = 0;  ///< total lock/lock_shared calls
   std::uint64_t lock_contended = 0;     ///< calls whose first try_lock failed
   std::uint64_t backoff_rounds = 0;     ///< yields + sleeps across all calls
+  std::uint64_t backoff_ns = 0;         ///< requested sleep ns across rounds
 };
 
 /// One shard's lock. Exclusive mode for the single writer of a shard
@@ -117,6 +118,10 @@ class ShardLock {
             : cfg.max_sleep_doublings;
     const std::uint64_t cap = cfg.base_sleep_ns << doublings;
     const std::uint64_t jitter = ctx.rng() & (cap - 1);
+    // Requested (not measured) duration: reading a clock here would tax the
+    // contention path it instruments — and trip gclint's
+    // hot-region-raw-clock rule, which allowlists only this file and gcmon.
+    ctx.backoff_ns += cfg.base_sleep_ns + jitter;
     std::this_thread::sleep_for(
         std::chrono::nanoseconds(cfg.base_sleep_ns + jitter));
   }

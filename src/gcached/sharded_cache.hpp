@@ -34,6 +34,7 @@
 // shard back off in ShardLock.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -49,6 +50,7 @@
 #include "core/types.hpp"
 #include "gcached/shard_lock.hpp"
 #include "locality/sample.hpp"
+#include "obs/shard_metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace gcaching::gcached {
@@ -131,6 +133,13 @@ class ConcurrentCache {
   /// Shard `s`'s current occupancy (takes the shard lock).
   virtual std::size_t shard_occupancy(std::size_t s) = 0;
   virtual std::string policy_name() const = 0;
+
+  /// Attach (or detach with nullptr) a gcmon per-shard counter table sized
+  /// to num_shards(). The access path publishes hit/miss/sideload/lock
+  /// deltas into it via GC_MON_* macros — relaxed atomics only, compiled to
+  /// nothing under GCACHING_OBS=OFF, so attach is a no-op in fast builds.
+  /// The atlas must outlive all traffic issued while it is attached.
+  virtual void attach_atlas(obs::ShardAtlas* atlas) = 0;
 };
 
 /// The ConcurrentPolicy adapter: `Policy` is any concrete policy class
@@ -169,7 +178,19 @@ class ShardedCache final : public ConcurrentCache {
 
   GC_HOT_REGION_BEGIN(gcached_access)
   void access(ClientContext& ctx, ItemId item, BlockId block) override {
-    Shard& shard = *shards_[shard_of_block(block, shards_.size())];
+    const std::size_t si = shard_of_block(block, shards_.size());
+    Shard& shard = *shards_[si];
+    // Monitoring publishes are deltas of state we already maintain (partial
+    // SimStats, ClientContext counters) pushed into per-shard relaxed
+    // atomics — one predictable branch when no atlas is attached, zero code
+    // under GCACHING_OBS=OFF (GC_MON_ATTACHED is then compile-time false).
+    GC_MON_ATLAS(mon, atlas_.load(std::memory_order_acquire));
+    [[maybe_unused]] std::uint64_t mon_acq = 0, mon_try = 0, mon_boff = 0;
+    if (GC_MON_ATTACHED(mon)) {
+      mon_acq = ctx.lock_acquisitions;
+      mon_try = ctx.backoff_rounds;  // == failed try_locks, see shard_lock
+      mon_boff = ctx.backoff_ns;
+    }
     ShardGuard guard(shard.lock, ctx, cfg_.backoff);
     // Single-writer-per-shard invariant: the exclusive lock makes the flag
     // race-free, so a firing check means a lock-discipline bug (an access
@@ -177,9 +198,28 @@ class ShardedCache final : public ConcurrentCache {
     GC_HOT_CHECK(!shard.writer_active,
                  "single-writer-per-shard invariant violated");
     if constexpr (kHotChecksEnabled) shard.writer_active = true;
+    // fast_step maintains only the non-derivable counters (misses, spatial
+    // hits); hits are 1 - miss per access, and sideloads accumulate in
+    // CacheContents — delta those sources directly.
+    [[maybe_unused]] const std::uint64_t sideloads_before =
+        shard.cache.sideloads();
     const std::uint64_t misses_before = shard.partial.misses;
     detail::fast_step(shard.cache, shard.policy, shard.partial, item, block);
     ++shard.accesses;
+    if (GC_MON_ATTACHED(mon)) {
+      [[maybe_unused]] const std::uint64_t miss_delta =
+          shard.partial.misses - misses_before;
+      GC_MON_SHARD_ADD(mon, si, hits, 1 - miss_delta);
+      GC_MON_SHARD_ADD(mon, si, misses, miss_delta);
+      GC_MON_SHARD_ADD(mon, si, sideloads,
+                       shard.cache.sideloads() - sideloads_before);
+      GC_MON_SHARD_ADD(mon, si, lock_acquisitions,
+                       ctx.lock_acquisitions - mon_acq);
+      GC_MON_SHARD_ADD(mon, si, trylock_failures,
+                       ctx.backoff_rounds - mon_try);
+      GC_MON_SHARD_ADD(mon, si, backoff_ns, ctx.backoff_ns - mon_boff);
+      GC_MON_SHARD_SET(mon, si, residency, shard.cache.occupancy());
+    }
     if constexpr (kHotChecksEnabled) shard.writer_active = false;
     if (cfg_.fill_latency_ns != 0 && shard.partial.misses != misses_before) {
       // Synchronous fill: the shard stays held (its writer is blocked on
@@ -230,6 +270,12 @@ class ShardedCache final : public ConcurrentCache {
 
   std::string policy_name() const override { return name_; }
 
+  void attach_atlas(obs::ShardAtlas* atlas) override {
+    GC_REQUIRE(atlas == nullptr || atlas->size() == shards_.size(),
+               "atlas size must equal the shard count");
+    atlas_.store(atlas, std::memory_order_release);
+  }
+
  private:
   // One cache line per shard header keeps neighbouring shards' locks from
   // false-sharing under cross-shard traffic.
@@ -248,6 +294,9 @@ class ShardedCache final : public ConcurrentCache {
   std::shared_ptr<const BlockMap> map_;
   GcachedConfig cfg_;
   std::string name_;
+  /// Attached gcmon counter table, or nullptr (idle: one acquire load per
+  /// access in obs builds; the load itself compiles out under OBS=OFF).
+  std::atomic<obs::ShardAtlas*> atlas_{nullptr};
   // Policies are neither copyable nor movable, so shards live behind
   // unique_ptr (the simulate_column Lane pattern).
   std::vector<std::unique_ptr<Shard>> shards_;

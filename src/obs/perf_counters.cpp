@@ -1,0 +1,133 @@
+#include "obs/perf_counters.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace gcaching::obs {
+
+namespace {
+
+std::atomic<bool> g_warned{false};
+std::atomic<bool> g_unsupported{false};
+
+void warn_once(const char* why) {
+  g_unsupported.store(true, std::memory_order_relaxed);
+  if (g_warned.exchange(true, std::memory_order_relaxed)) return;
+  std::cerr << "gcmon: WARNING: hardware counters unavailable (" << why
+            << "); cycles/instructions/LLC-miss fields will read as zero "
+               "with perf_valid=false. On Linux, check "
+               "/proc/sys/kernel/perf_event_paranoid (needs <= 2 for "
+               "per-thread counting) or run without --perf.\n";
+}
+
+}  // namespace
+
+bool perf_counters_supported() noexcept {
+  return !g_unsupported.load(std::memory_order_relaxed);
+}
+
+#if defined(__linux__)
+
+namespace {
+
+int open_event(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr{};
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;  // lowers the paranoid bar; user cycles suffice
+  attr.exclude_hv = 1;
+  // pid=0, cpu=-1: this thread, any CPU. No group leader — LLC-miss events
+  // often live on a different PMU than the fixed counters, and grouping
+  // would then fail wholesale; independent fds read fine for totals.
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  struct Spec {
+    std::uint32_t type;
+    std::uint64_t config;
+  };
+  const Spec specs[kEvents] = {
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+      {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CONTEXT_SWITCHES},
+  };
+  for (int i = 0; i < kEvents; ++i) {
+    fds_[i] = open_event(specs[i].type, specs[i].config);
+    if (fds_[i] < 0) {
+      const int err = errno;
+      for (int j = 0; j < i; ++j) {
+        close(fds_[j]);
+        fds_[j] = -1;
+      }
+      warn_once(std::strerror(err));
+      return;
+    }
+  }
+  available_ = true;
+}
+
+PerfCounters::~PerfCounters() {
+  for (int fd : fds_)
+    if (fd >= 0) close(fd);
+}
+
+void PerfCounters::start() noexcept {
+  if (!available_) return;
+  for (int fd : fds_) {
+    ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+PerfTotals PerfCounters::stop() noexcept {
+  PerfTotals t;
+  if (!available_) return t;
+  std::uint64_t values[kEvents] = {};
+  bool ok = true;
+  for (int i = 0; i < kEvents; ++i) {
+    ioctl(fds_[i], PERF_EVENT_IOC_DISABLE, 0);
+    if (read(fds_[i], &values[i], sizeof values[i]) !=
+        static_cast<ssize_t>(sizeof values[i])) {
+      ok = false;
+      values[i] = 0;
+    }
+  }
+  t.valid = ok;
+  t.cycles = values[0];
+  t.instructions = values[1];
+  t.llc_misses = values[2];
+  t.context_switches = values[3];
+  return t;
+}
+
+#else  // !__linux__: the syscall does not exist; stay inert but loud.
+
+PerfCounters::PerfCounters() {
+  warn_once("perf_event_open requires Linux");
+}
+
+PerfCounters::~PerfCounters() = default;
+
+void PerfCounters::start() noexcept {}
+
+PerfTotals PerfCounters::stop() noexcept { return {}; }
+
+#endif  // __linux__
+
+}  // namespace gcaching::obs

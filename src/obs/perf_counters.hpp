@@ -1,0 +1,71 @@
+// Per-thread hardware counter capture via perf_event_open (Linux).
+//
+// A `PerfCounters` instance opens four events scoped to the CALLING thread
+// (cycles, instructions, LLC misses, context switches), so each load
+// generator thread can own one and the totals attribute work to the thread
+// that did it. Counting costs nothing on the measured path — the kernel
+// maintains the counts; we only read() them at stop.
+//
+// Graceful degradation is a hard requirement: CI containers and locked-down
+// hosts reject perf_event_open (EACCES under perf_event_paranoid >= 2,
+// ENOSYS in some sandboxes) and non-Linux builds lack the syscall entirely.
+// In every such case `available()` is false, totals read as zeros with
+// `valid == false`, and ONE loud warning is printed to stderr per process —
+// never one per thread, never a crash, never a silent all-zeros JSON field
+// (bench_gcached writes `perf_valid` so a reader can tell "zero events"
+// from "counters unavailable").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gcaching::obs {
+
+/// Totals read from one thread's counters (or an aggregation over threads).
+/// `valid` is false when any constituent counter could not be captured.
+struct PerfTotals {
+  bool valid = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t context_switches = 0;
+
+  PerfTotals& operator+=(const PerfTotals& o) {
+    // An aggregate is valid only if every contributor was.
+    valid = valid && o.valid;
+    cycles += o.cycles;
+    instructions += o.instructions;
+    llc_misses += o.llc_misses;
+    context_switches += o.context_switches;
+    return *this;
+  }
+};
+
+/// True once any PerfCounters in this process failed to open — used to emit
+/// the loud fallback warning exactly once.
+bool perf_counters_supported() noexcept;
+
+class PerfCounters {
+ public:
+  /// Opens the counters for the calling thread, disabled. On any failure
+  /// the instance is inert (`available() == false`) and the once-per-process
+  /// warning has been printed.
+  PerfCounters();
+  ~PerfCounters();
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  bool available() const noexcept { return available_; }
+
+  /// Reset and enable counting on the calling thread. No-op when inert.
+  void start() noexcept;
+  /// Disable counting and read totals. `valid` mirrors available().
+  PerfTotals stop() noexcept;
+
+ private:
+  static constexpr int kEvents = 4;
+  int fds_[kEvents] = {-1, -1, -1, -1};
+  bool available_ = false;
+};
+
+}  // namespace gcaching::obs

@@ -268,6 +268,70 @@ GC_HOT_REGION_END(per_access)
       findings_for_rule(gclint::lint(files), "hot-region-raw-lock").empty());
 }
 
+TEST(GclintHotRegion, RawClockInsideRegionIsFlagged) {
+  const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
+inline long cold_stamp() { return std::chrono::steady_clock::now().count(); }
+GC_HOT_REGION_BEGIN(per_access)
+inline void step(Shard& shard) {
+  const auto t0 = std::chrono::steady_clock::now();
+  shard.apply();
+  shard.ns += (std::chrono::steady_clock::now() - t0).count();
+}
+GC_HOT_REGION_END(per_access)
+)cpp"}};
+  const auto hits =
+      findings_for_rule(gclint::lint(files), "hot-region-raw-clock");
+  // Line 2 is outside any region (cold-path timing is fine); lines 5 and 7
+  // fire once each.
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].line, 5u);
+  EXPECT_EQ(hits[1].line, 7u);
+  EXPECT_NE(hits[0].message.find("monitoring layer"), std::string::npos);
+}
+
+TEST(GclintHotRegion, RdtscVariantsAreFlagged) {
+  const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
+GC_HOT_REGION_BEGIN(per_access)
+inline unsigned long stamp() { return __rdtsc(); }
+inline long posix_stamp(timespec* ts) { return clock_gettime(0, ts); }
+GC_HOT_REGION_END(per_access)
+)cpp"}};
+  const auto hits =
+      findings_for_rule(gclint::lint(files), "hot-region-raw-clock");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].line, 3u);
+  EXPECT_EQ(hits[1].line, 4u);
+}
+
+TEST(GclintHotRegion, ClockHomesAreExempt) {
+  // gcmon (whose job is timestamping) and shard_lock.hpp (backoff deadline)
+  // are the sanctioned homes for clock reads.
+  const std::vector<SourceFile> files = {
+      {"src/obs/gcmon.cpp", R"cpp(
+GC_HOT_REGION_BEGIN(harvest)
+inline long stamp() { return std::chrono::steady_clock::now().count(); }
+GC_HOT_REGION_END(harvest)
+)cpp"},
+      {"src/gcached/shard_lock.hpp", R"cpp(
+GC_HOT_REGION_BEGIN(shard_lock_backoff)
+inline long deadline() { return std::chrono::steady_clock::now().count(); }
+GC_HOT_REGION_END(shard_lock_backoff)
+)cpp"}};
+  EXPECT_TRUE(
+      findings_for_rule(gclint::lint(files), "hot-region-raw-clock").empty());
+}
+
+TEST(GclintHotRegion, AllowAnnotationSuppressesRawClock) {
+  const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
+GC_HOT_REGION_BEGIN(per_access)
+// GCLINT-ALLOW(hot-region-raw-clock): one-time warmup stamp, not per-access
+inline void warmup(Shard& s) { s.t0 = std::chrono::steady_clock::now(); }
+GC_HOT_REGION_END(per_access)
+)cpp"}};
+  EXPECT_TRUE(
+      findings_for_rule(gclint::lint(files), "hot-region-raw-clock").empty());
+}
+
 TEST(GclintHotRegion, HotTierContractsAreLegalInside) {
   const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
 GC_HOT_REGION_BEGIN(per_access)

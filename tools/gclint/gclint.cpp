@@ -55,6 +55,20 @@ const std::set<std::string>& raw_lock_tokens() {
   return kTokens;
 }
 
+const std::set<std::string>& raw_clock_tokens() {
+  // Clock and cycle-counter primitives banned from hot regions: a per-access
+  // time read costs tens of nanoseconds (vDSO call or serializing rdtsc) and
+  // silently skews the very latencies gcmon reports. Timing belongs to the
+  // monitoring layer — loadgen's bracketed measurement and the gcmon
+  // snapshot thread — never to the access path itself.
+  static const std::set<std::string> kTokens = {
+      "steady_clock",  "system_clock", "high_resolution_clock",
+      "clock_gettime", "gettimeofday", "rdtsc",
+      "__rdtsc",       "__builtin_ia32_rdtsc",
+      "__builtin_readcyclecounter"};
+  return kTokens;
+}
+
 const std::set<std::string>& blocking_calls() {
   // Scheduling / parking primitives: these block the calling thread (or wake
   // others), which per-access code must never do outside the backoff helper.
@@ -112,6 +126,15 @@ bool is_lock_home(const FileModel& m) {
   return ends_with_path(m.file->path, "src/gcached/shard_lock.hpp");
 }
 
+bool is_clock_home(const FileModel& m) {
+  // Sanctioned homes for time reads: the gcmon monitor (whose whole job is
+  // timestamping snapshots) and shard_lock.hpp (whose backoff helper may
+  // need a deadline clock).
+  return ends_with_path(m.file->path, "src/obs/gcmon.hpp") ||
+         ends_with_path(m.file->path, "src/obs/gcmon.cpp") ||
+         ends_with_path(m.file->path, "src/gcached/shard_lock.hpp");
+}
+
 // ---- rule: hot-region balance (marker state machine, v1 semantics) ----------
 
 void check_balance(const FileModel& m, std::vector<Finding>& out) {
@@ -153,9 +176,12 @@ void check_hot_region_content(const FileModel& m, std::vector<Finding>& out) {
   constexpr const char* kRawObs = "hot-region-raw-obs";
   constexpr const char* kRawLock = "hot-region-raw-lock";
   constexpr const char* kBlocking = "hot-region-blocking";
+  constexpr const char* kRawClock = "hot-region-raw-clock";
   const bool lock_home = is_lock_home(m);
+  const bool clock_home = is_clock_home(m);
   std::size_t last_lock_line = 0;      // one raw-lock finding per line
   std::size_t last_blocking_line = 0;  // one blocking finding per line
+  std::size_t last_clock_line = 0;     // one raw-clock finding per line
   for (std::size_t i = 0; i < m.tokens.size(); ++i) {
     const Token& t = m.tokens[i];
     if (!is_code(t) || t.kind != Tok::kIdent) continue;
@@ -177,6 +203,15 @@ void check_hot_region_content(const FileModel& m, std::vector<Finding>& out) {
                 "' — per-access telemetry must go through the GC_OBS_* "
                 "macros, which compile to nothing under GCACHING_OBS=OFF");
       }
+    }
+    if (!clock_home && raw_clock_tokens().count(t.text) > 0 &&
+        t.line != last_clock_line) {
+      last_clock_line = t.line;
+      add(out, m, t.line, kRawClock,
+          "'" + t.text + "' inside hot region '" + r->label +
+              "' — per-access code must not read clocks or cycle counters; "
+              "timing belongs to the monitoring layer (loadgen's bracketed "
+              "measurement, gcmon's snapshot thread)");
     }
     if (!lock_home) {
       if (raw_lock_tokens().count(t.text) > 0 && t.line != last_lock_line) {
@@ -838,6 +873,10 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"hot-region-blocking",
        "No sleep_for/sleep_until/yield or atomic wait/notify calls inside a "
        "hot region outside shard_lock.hpp."},
+      {"hot-region-raw-clock",
+       "No clock reads (steady_clock/system_clock/clock_gettime/rdtsc "
+       "variants) inside a hot region outside gcmon and shard_lock.hpp; "
+       "timing belongs to the monitoring layer."},
       {"lock-discipline",
        "While a ShardGuard/SharedShardGuard is live: no blocking calls, no "
        "file I/O, no allocation or container growth, no second shard guard "

@@ -31,6 +31,14 @@
 //                             notify_all inside a hot region outside
 //                             shard_lock.hpp — scheduling belongs to the
 //                             backoff helper, not to per-access code.
+//   hot-region-raw-clock      No clock or cycle-counter reads (steady_clock /
+//                             system_clock / high_resolution_clock /
+//                             clock_gettime / gettimeofday / rdtsc variants)
+//                             inside a hot region — a per-access time read
+//                             costs tens of ns and skews the latencies the
+//                             monitor reports. Timing belongs to the
+//                             monitoring layer; src/obs/gcmon.{hpp,cpp} and
+//                             shard_lock.hpp are the sanctioned homes.
 //   lock-discipline           Intra-procedural guard-lifetime dataflow: while
 //                             a ShardGuard / SharedShardGuard is live, no
 //                             blocking call (sleep/wait/notify), no file I/O,

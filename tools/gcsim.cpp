@@ -7,6 +7,7 @@
 //                   [--threads T] [--csv FILE] [--obs DIR] [--progress]
 //   gcsim gcached   --workload FILE --capacity N [--policy SPEC]
 //                   [--shards S] [--threads N] [--ops N] [--fill-us F]
+//                   [--metrics-out FILE] [--mon-jsonl FILE] [--perf]
 //   gcsim profile   --workload FILE [--windows N1,N2,..]
 //   gcsim adversary --type item|block|general --policy SPEC
 //                   --k N --h N --B N [--phases P] [--save FILE]
@@ -133,7 +134,7 @@ class Args {
 
  private:
   static bool is_flag(const std::string& key) {
-    return key == "progress" || key == "trace-bin";
+    return key == "progress" || key == "trace-bin" || key == "perf";
   }
 
   std::map<std::string, std::vector<std::string>> values_;
@@ -495,10 +496,41 @@ int cmd_gcached(const Args& args) {
   load.threads = static_cast<std::size_t>(threads);
   load.total_ops = args.get_u64("ops", 0);  // 0 = one trace pass
   load.seed = args.get_u64("seed", 1);
+  load.perf = args.has("perf");
 
   require_obs_build(args);
   std::optional<ObsSinks> sinks;
   if (args.has("obs")) sinks.emplace(args.get("obs"));
+
+  // Live monitoring (gcmon): --metrics-out FILE rewrites a Prometheus text
+  // exposition atomically every --mon-interval-ms; --mon-jsonl FILE appends
+  // one snapshot object per harvest. Like --obs, rejected loudly in builds
+  // whose GC_MON_* publishes are compiled out — an all-zero exposition
+  // would read as "no traffic".
+  const bool want_mon = args.has("metrics-out") || args.has("mon-jsonl");
+  if (want_mon && !obs::kObsEnabled) {
+    std::cerr << "--metrics-out / --mon-jsonl require a build with "
+                 "GCACHING_OBS=ON (the default and `obs` presets; the "
+                 "`fast` preset compiles the shard counters out)\n";
+    return 2;
+  }
+  std::optional<obs::ShardAtlas> atlas;
+  std::optional<obs::Monitor> monitor;
+  if (want_mon) {
+    obs::MonitorConfig mcfg;
+    mcfg.interval =
+        std::chrono::milliseconds(args.get_u64("mon-interval-ms", 50));
+    mcfg.ring_capacity =
+        static_cast<std::size_t>(args.get_u64("mon-ring", 256));
+    mcfg.prometheus_path = args.get("metrics-out", std::string());
+    mcfg.jsonl_path = args.get("mon-jsonl", std::string());
+    atlas.emplace(cfg.num_shards);
+    monitor.emplace(mcfg);
+    monitor->attach_atlas(&*atlas);
+    cache->attach_atlas(&*atlas);
+    monitor->start();
+    load.monitor = &*monitor;
+  }
 
   std::cout << "workload: " << w.name << " (" << w.trace.size()
             << " accesses), capacity " << cfg.capacity << ", policy " << spec
@@ -506,6 +538,18 @@ int cmd_gcached(const Args& args) {
             << " client thread(s)\n";
   const auto res =
       gcached::run_load(*cache, w.trace, w.trace.block_ids(), load);
+
+  if (monitor) {
+    monitor->stop();
+    cache->attach_atlas(nullptr);
+    std::cout << "gcmon: " << monitor->snapshot_count()
+              << " snapshot(s) in ring";
+    if (!monitor->config().prometheus_path.empty())
+      std::cout << ", exposition at " << monitor->config().prometheus_path;
+    if (!monitor->config().jsonl_path.empty())
+      std::cout << ", stream at " << monitor->config().jsonl_path;
+    std::cout << "\n";
+  }
 
   TextTable table({"metric", "value"});
   table.add_row({"ops", TextTable::fmt_int(res.ops)});
@@ -522,6 +566,20 @@ int cmd_gcached(const Args& args) {
   table.add_row({"lock acquisitions", TextTable::fmt_int(res.lock_acquisitions)});
   table.add_row({"lock contended", TextTable::fmt_int(res.lock_contended)});
   table.add_row({"backoff rounds", TextTable::fmt_int(res.backoff_rounds)});
+  table.add_row({"backoff ns", TextTable::fmt_int(res.backoff_ns)});
+  if (res.perf.valid) {
+    table.add_row({"cycles", TextTable::fmt_int(res.perf.cycles)});
+    table.add_row({"instructions", TextTable::fmt_int(res.perf.instructions)});
+    table.add_row(
+        {"IPC", TextTable::fmt(res.perf.cycles > 0
+                                   ? static_cast<double>(res.perf.instructions) /
+                                         static_cast<double>(res.perf.cycles)
+                                   : 0.0,
+                               2)});
+    table.add_row({"LLC misses", TextTable::fmt_int(res.perf.llc_misses)});
+    table.add_row(
+        {"ctx switches", TextTable::fmt_int(res.perf.context_switches)});
+  }
   std::cout << table;
   return 0;
 }
@@ -788,6 +846,12 @@ subcommands:
              closed-loop client threads — see docs/CONCURRENCY.md
              --workload FILE --capacity N [--policy SPEC] [--shards S]
              [--threads N] [--ops N] [--fill-us F] [--seed S] [--obs DIR]
+             [--metrics-out FILE] [--mon-jsonl FILE] [--mon-interval-ms M]
+             [--mon-ring N] [--perf]
+             live monitoring (gcmon): --metrics-out rewrites a Prometheus
+             exposition atomically every M ms, --mon-jsonl appends one
+             snapshot per harvest, --perf captures per-thread hardware
+             counters — see docs/OBSERVABILITY.md
 
 observability (GCACHING_OBS=ON builds; see docs/OBSERVABILITY.md):
   --obs DIR        write telemetry sinks into DIR: trace.json (Chrome
