@@ -204,7 +204,11 @@ template <typename Policy>
 inline void fast_finalize(const CacheContents& cache, SimStats& stats,
                           std::uint64_t num_accesses) {
   stats.accesses = num_accesses;
-  stats.hits = stats.accesses - stats.misses;
+  // delayed_hits is only ever non-zero for the gcached async fill path
+  // (src/gcached/sharded_cache.hpp), which reuses this finalizer; the
+  // sequential engines keep it at zero, so `hits = accesses - misses` holds
+  // there unchanged.
+  stats.hits = stats.accesses - stats.misses - stats.delayed_hits;
   stats.temporal_hits = stats.hits - stats.spatial_hits;
   stats.items_loaded = cache.items_loaded();
   stats.sideloads = cache.sideloads();

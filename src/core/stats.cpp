@@ -12,6 +12,10 @@ std::string SimStats::summary() const {
      << " [temporal=" << temporal_hits << " spatial=" << spatial_hits
      << "] loaded=" << items_loaded << " sideloads=" << sideloads
      << " evictions=" << evictions << " wasted=" << wasted_sideloads;
+  if (delayed_hits != 0) {
+    os << " delayed=" << delayed_hits << " [free=" << free_delayed_hits
+       << " wait_ns=" << delayed_hit_wait_ns << "]";
+  }
   return os.str();
 }
 

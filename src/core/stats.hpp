@@ -22,6 +22,20 @@ struct SimStats {
   std::uint64_t sideloads = 0;
   std::uint64_t evictions = 0;
   std::uint64_t wasted_sideloads = 0;
+  /// Accesses served by a fill already in flight (MSHR coalescing in the
+  /// gcached async runtime): neither a hit (the item was not resident at
+  /// access time) nor a miss (no new block load was issued). Always zero in
+  /// the sequential engines and in sync fill mode. Conservation law:
+  /// hits + misses + delayed_hits == accesses.
+  std::uint64_t delayed_hits = 0;
+  /// Subset of delayed_hits whose item the pending fill *sideloaded* — the
+  /// requester never asked for it, so the wait was bought by spatial
+  /// locality alone ("free" delayed hits, the GC-caching twist on
+  /// arXiv:2006.00376's delayed-hit model).
+  std::uint64_t free_delayed_hits = 0;
+  /// Total nanoseconds delayed-hit accesses spent parked on in-flight
+  /// fills (queuing cost = remaining fill time at arrival).
+  std::uint64_t delayed_hit_wait_ns = 0;
 
   /// Every ratio helper shares one zero-denominator convention: an empty
   /// denominator yields 0.0 (never NaN/inf), so "no hits yet" and "no
@@ -42,6 +56,23 @@ struct SimStats {
   double wasted_sideload_share() const {
     return ratio(wasted_sideloads, sideloads);
   }
+  double delayed_hit_rate() const { return ratio(delayed_hits, accesses); }
+  /// Fraction of delayed hits the requester never asked for (sideloaded by
+  /// the pending fill — free spatial-locality wins).
+  double free_delayed_hit_share() const {
+    return ratio(free_delayed_hits, delayed_hits);
+  }
+  /// Latency-weighted average memory access time: every miss pays the full
+  /// backend fill, every delayed hit pays its measured residual wait, and
+  /// plain hits are free. The classical AMAT decomposition with the
+  /// delayed-hit correction of arXiv:2006.00376.
+  double amat_ns(std::uint64_t fill_latency_ns) const {
+    if (accesses == 0) return 0.0;
+    const double cost = static_cast<double>(misses) *
+                            static_cast<double>(fill_latency_ns) +
+                        static_cast<double>(delayed_hit_wait_ns);
+    return cost / static_cast<double>(accesses);
+  }
 
   /// Bit-identity across engines (fast vs verifying) is a hard guarantee;
   /// tests and benches compare full stat structs.
@@ -57,6 +88,9 @@ struct SimStats {
     sideloads += o.sideloads;
     evictions += o.evictions;
     wasted_sideloads += o.wasted_sideloads;
+    delayed_hits += o.delayed_hits;
+    free_delayed_hits += o.free_delayed_hits;
+    delayed_hit_wait_ns += o.delayed_hit_wait_ns;
     return *this;
   }
 
@@ -73,6 +107,9 @@ struct SimStats {
     sideloads -= o.sideloads;
     evictions -= o.evictions;
     wasted_sideloads -= o.wasted_sideloads;
+    delayed_hits -= o.delayed_hits;
+    free_delayed_hits -= o.free_delayed_hits;
+    delayed_hit_wait_ns -= o.delayed_hit_wait_ns;
     return *this;
   }
   friend SimStats operator-(SimStats a, const SimStats& b) {

@@ -2,8 +2,10 @@
 
 #include "policies/block_fifo.hpp"
 #include "policies/block_lru.hpp"
+#include "policies/item_clock.hpp"
 #include "policies/item_fifo.hpp"
 #include "policies/item_lru.hpp"
+#include "policies/item_slru.hpp"
 #include "util/contracts.hpp"
 
 namespace gcaching::gcached {
@@ -22,7 +24,8 @@ std::unique_ptr<ConcurrentCache> make_sharded(
 }  // namespace
 
 std::vector<std::string> supported_concurrent_specs() {
-  return {"item-lru", "item-fifo", "block-lru", "block-fifo"};
+  return {"item-lru",   "item-fifo",  "item-clock",
+          "item-slru",  "block-lru",  "block-fifo"};
 }
 
 std::string validate_gcached_request(long long shards, long long threads) {
@@ -44,6 +47,10 @@ std::unique_ptr<ConcurrentCache> make_concurrent_cache(
   if (spec == "item-lru") return make_sharded<ItemLru>(std::move(map), cfg, spec);
   if (spec == "item-fifo")
     return make_sharded<ItemFifo>(std::move(map), cfg, spec);
+  if (spec == "item-clock")
+    return make_sharded<ItemClock>(std::move(map), cfg, spec);
+  if (spec == "item-slru")
+    return make_sharded<ItemSlru>(std::move(map), cfg, spec);
   if (spec == "block-lru")
     return make_sharded<BlockLru>(std::move(map), cfg, spec);
   if (spec == "block-fifo")

@@ -4,11 +4,31 @@
 #include <memory>
 #include <vector>
 
+#if defined(__linux__)
+#include <sys/prctl.h>
+#endif
+
 #include "obs/obs.hpp"
 #include "sim/thread_pool.hpp"
 #include "util/contracts.hpp"
 
 namespace gcaching::gcached {
+
+namespace {
+
+/// Every timed wait in a client thread — backend fills, backoff naps,
+/// open-loop arrival sleeps — is tens of microseconds, but Linux pads
+/// timer expirations by the thread's timer slack (default 50us), so a
+/// 50us fill actually sleeps 100-200us and every measured latency and
+/// throughput number inherits the padding. Tighten the slack to 1us on
+/// each client thread; harmless no-op elsewhere.
+void tighten_timer_slack() {
+#if defined(__linux__)
+  prctl(PR_SET_TIMERSLACK, 1000UL, 0, 0, 0);
+#endif
+}
+
+}  // namespace
 
 LoadResult run_load(ConcurrentCache& cache, const Trace& trace,
                     std::span<const BlockId> block_ids, const LoadSpec& spec) {
@@ -16,6 +36,8 @@ LoadResult run_load(ConcurrentCache& cache, const Trace& trace,
   GC_REQUIRE(block_ids.size() == trace.size(),
              "one precomputed block id per access is required");
   GC_REQUIRE(spec.threads >= 1, "run_load needs at least one client thread");
+  GC_REQUIRE(spec.arrival == Arrival::kClosed || spec.rate_ops_per_sec > 0.0,
+             "poisson arrivals need a positive rate_ops_per_sec");
 
   const std::size_t n = trace.size();
   const std::size_t threads = spec.threads;
@@ -51,9 +73,23 @@ LoadResult run_load(ConcurrentCache& cache, const Trace& trace,
     const std::uint64_t ops_t =
         total_ops / threads + (t < total_ops % threads ? 1 : 0);
     const bool perf = spec.perf;
+    const Arrival arrival = spec.arrival;
+    // Each thread offers its proportional share of the aggregate rate so
+    // remainder threads (one extra op) also get a proportionally longer
+    // schedule and every thread's arrival process drains in the same
+    // expected wall time.
+    const double rate_t =
+        spec.rate_ops_per_sec * static_cast<double>(ops_t) /
+        static_cast<double>(total_ops);
+    // Arrival schedule RNG: deterministic per (seed, thread), deliberately
+    // decorrelated from the backoff-jitter stream in ClientContext (which
+    // xors a different constant) so arrival times never entangle with
+    // backoff draws.
+    const SplitMix64 arrivals_rng(spec.seed * 0x9e3779b97f4a7c15ULL + t);
     pool.submit([&cache, &client, &accesses, block_ids, n, threads, t, ops_t,
-                 perf] {
+                 perf, arrival, rate_t, arrivals_rng] {
       ClientContext& ctx = client.ctx;
+      tighten_timer_slack();
       // Perf counters attach to the calling thread, so they must be opened
       // here on the worker, not where the task was submitted.
       std::unique_ptr<obs::PerfCounters> counters;
@@ -61,11 +97,18 @@ LoadResult run_load(ConcurrentCache& cache, const Trace& trace,
         counters = std::make_unique<obs::PerfCounters>();
         counters->start();
       }
-      detail::replay_closed_loop<std::chrono::steady_clock>(
-          [&cache, &ctx, &accesses, block_ids](std::size_t i) {
-            cache.access(ctx, accesses[i], block_ids[i]);
-          },
-          t, threads, n, ops_t, client.hist);
+      const auto access_one = [&cache, &ctx, &accesses,
+                               block_ids](std::size_t i) {
+        cache.access(ctx, accesses[i], block_ids[i]);
+      };
+      if (arrival == Arrival::kPoisson) {
+        detail::replay_open_loop<std::chrono::steady_clock>(
+            access_one, t, threads, n, ops_t, rate_t, arrivals_rng,
+            client.hist);
+      } else {
+        detail::replay_closed_loop<std::chrono::steady_clock>(
+            access_one, t, threads, n, ops_t, client.hist);
+      }
       if (counters != nullptr) client.perf = counters->stop();
     });
   }
@@ -79,6 +122,8 @@ LoadResult run_load(ConcurrentCache& cache, const Trace& trace,
   result.seconds = seconds;
   result.ops_per_sec =
       seconds > 0.0 ? static_cast<double>(total_ops) / seconds : 0.0;
+  result.offered_ops_per_sec =
+      spec.arrival == Arrival::kPoisson ? spec.rate_ops_per_sec : 0.0;
 
   obs::HdrHistogram merged;
   result.perf.valid = spec.perf;  // &&-folds with each thread's validity

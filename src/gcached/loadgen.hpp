@@ -1,13 +1,27 @@
-// Closed-loop load generator for the gcached runtime.
+// Load generator for the gcached runtime: closed-loop and open-loop modes.
 //
 // N client threads (sim/thread_pool.hpp workers) replay disjoint partitions
-// of one trace against a shared ConcurrentCache, each issuing its next
-// request the moment the previous one completes — closed-loop, so measured
-// latency feeds back into offered load exactly like a blocking cache client.
-// The partition is strided (thread t replays accesses t, t+N, t+2N, ...),
-// which keeps every thread's sub-trace statistically identical to the whole
-// and, at N = 1, degenerates to the original access order — that is the
-// configuration the differential test pins against simulate_fast.
+// of one trace against a shared ConcurrentCache. In the default CLOSED loop
+// each thread issues its next request the moment the previous one completes,
+// so measured latency feeds back into offered load exactly like a blocking
+// cache client. The partition is strided (thread t replays accesses t, t+N,
+// t+2N, ...), which keeps every thread's sub-trace statistically identical
+// to the whole and, at N = 1, degenerates to the original access order —
+// that is the configuration the differential test pins against
+// simulate_fast.
+//
+// The OPEN loop (`LoadSpec::arrival = Arrival::kPoisson`) instead draws each
+// thread's arrival times from a deterministic Poisson process (exponential
+// inter-arrivals off the thread's own SplitMix64) targeting
+// `rate_ops_per_sec` in aggregate, and issues every request at its
+// scheduled instant whether or not the previous one has finished being
+// slow. Closed-loop back-pressure throttles the offered load to whatever
+// the cache sustains — which HIDES fill overlap, because a client parked on
+// a fill offers nothing. Open loop keeps offering, so queueing (and MSHR
+// coalescing under async fills) becomes visible: recorded latency is
+// completion − *scheduled arrival*, i.e. service time plus queuing delay,
+// and LoadResult reports offered vs achieved throughput so saturation is
+// explicit rather than silent.
 //
 // Per-operation latency is recorded into per-thread gcmon HDR histograms
 // (obs/hdr_histogram.hpp): wait-free record, fixed ~34 KB per thread
@@ -32,9 +46,11 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <string>
+#include <thread>
 
 #include "core/stats.hpp"
 #include "core/trace.hpp"
@@ -42,8 +58,15 @@
 #include "obs/gcmon.hpp"
 #include "obs/hdr_histogram.hpp"
 #include "obs/perf_counters.hpp"
+#include "util/rng.hpp"
 
 namespace gcaching::gcached {
+
+/// Arrival process of the client threads (see file comment).
+enum class Arrival {
+  kClosed,   ///< next request issued when the previous completes
+  kPoisson,  ///< open loop: deterministic Poisson arrivals at `rate_ops_per_sec`
+};
 
 struct LoadSpec {
   std::size_t threads = 1;
@@ -53,6 +76,11 @@ struct LoadSpec {
   std::uint64_t total_ops = 0;
   /// Base seed for the per-thread backoff-jitter RNGs.
   std::uint64_t seed = 1;
+  Arrival arrival = Arrival::kClosed;
+  /// Aggregate offered rate for Arrival::kPoisson, split across threads in
+  /// proportion to their op shares. Must be > 0 in poisson mode; ignored in
+  /// closed-loop mode.
+  double rate_ops_per_sec = 0.0;
   /// Optional live monitor. When set, run_load registers each thread's
   /// latency histogram with it for the duration of the run and takes one
   /// synchronous harvest after the clients quiesce (so even a sub-interval
@@ -69,9 +97,16 @@ struct LoadResult {
   std::uint64_t ops = 0;
   double seconds = 0.0;
   double ops_per_sec = 0.0;
+  /// Offered arrival rate (poisson mode: LoadSpec::rate_ops_per_sec; 0.0 in
+  /// closed-loop mode, where offered load is defined by completions).
+  /// Compare against `ops_per_sec` — achieved well below offered means the
+  /// run was saturated and the latency tail is dominated by queuing delay.
+  double offered_ops_per_sec = 0.0;
   /// Operation-latency percentiles over every op of every thread, in
   /// microseconds (p50 <= p99 <= p999 <= max by construction), read from
   /// the merged HDR histogram (<=1% relative error, see obs/hdr_histogram).
+  /// Closed loop: bracketed service time of the access() call. Poisson:
+  /// completion − scheduled arrival (service + queuing delay).
   double p50_us = 0.0;
   double p99_us = 0.0;
   double p999_us = 0.0;
@@ -109,6 +144,44 @@ void replay_closed_loop(AccessFn&& access_one, std::size_t start,
             .count()));
     i += stride;
     if (i >= wrap) i = start;  // wrap: restart this thread's stride
+  }
+}
+
+/// One thread's open-loop strided replay: arrival op's scheduled instant is
+/// t_start + sum of exponential inter-arrival draws (rate `rate_ops_per_sec`
+/// for THIS thread) from `rng` — deterministic given the seed, independent
+/// of how long any access takes. The thread sleeps until each scheduled
+/// arrival (a no-op once it is running behind) and records
+/// completion − scheduled arrival, so queuing delay shows up in the
+/// percentiles instead of silently deflating the offered load. Templated on
+/// the clock like replay_closed_loop.
+template <typename Clock, typename AccessFn>
+void replay_open_loop(AccessFn&& access_one, std::size_t start,
+                      std::size_t stride, std::size_t wrap, std::uint64_t ops,
+                      double rate_ops_per_sec, SplitMix64 rng,
+                      obs::HdrHistogram& hist) {
+  const auto t_start = Clock::now();
+  double scheduled_ns = 0.0;
+  std::size_t i = start;
+  for (std::uint64_t op = 0; op < ops; ++op) {
+    // Inverse-CDF exponential draw; the >>11 keeps the uniform in [0, 1)
+    // with full double precision, and log1p(-u) never hits log(0).
+    const double u = static_cast<double>(rng() >> 11) * 0x1.0p-53;
+    scheduled_ns += -std::log1p(-u) * 1e9 / rate_ops_per_sec;
+    const auto arrival =
+        t_start +
+        std::chrono::nanoseconds(static_cast<std::int64_t>(scheduled_ns));
+    std::this_thread::sleep_until(arrival);
+    access_one(i);
+    const auto lag = Clock::now() - arrival;
+    hist.record(
+        lag.count() > 0
+            ? static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(lag)
+                      .count())
+            : 0);
+    i += stride;
+    if (i >= wrap) i = start;
   }
 }
 

@@ -27,20 +27,36 @@
 // from a fully-associative one. See docs/CONCURRENCY.md.
 //
 // Misses may be charged a simulated backend fill latency
-// (`GcachedConfig::fill_latency_ns`), slept while HOLDING the shard — a
-// synchronous fill with the shard's single writer blocked, the regime where
-// sharding is what buys fill overlap (and what the closed-loop bench
-// measures). Requests to other shards proceed; requests to the filling
-// shard back off in ShardLock.
+// (`GcachedConfig::fill_latency_ns`). Two fill modes:
+//
+//   * `FillMode::kAsync` (default) — the MSHR path. The missing thread
+//     registers an in-flight entry for the block in its shard's MshrTable
+//     (gcached/mshr.hpp), RELEASES the shard lock, sleeps the fill
+//     unlocked (shard_lock.hpp's `backend_fill`), then re-acquires to
+//     commit the load/sideloads and wake coalesced waiters. A concurrent
+//     access that misses on an in-flight block parks on the entry's
+//     FillGate instead of issuing a second fill and is charged a *delayed
+//     hit* (queuing cost = measured remaining fill time); when the fill
+//     sideloaded the waiter's item, the commit-time hit taxonomy classifies
+//     it a *free* delayed hit. Fills to distinct blocks of ONE shard now
+//     overlap (up to `mshr_entries` of them), so fill-bound cells scale
+//     with offered concurrency, not just with the shard count.
+//
+//   * `FillMode::kSync` — the compat/differential mode: the fill is slept
+//     while HOLDING the shard, the shard's single writer blocked on the
+//     backend, clients of that shard backing off in ShardLock. This is the
+//     regime where sharding alone buys fill overlap; kept as the baseline
+//     the async gate in CI compares against.
+//
+// docs/CONCURRENCY.md ("Asynchronous fills and the MSHR table") documents
+// the lock hand-off protocol and the delayed-hit accounting.
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/block_map.hpp"
@@ -48,6 +64,7 @@
 #include "core/simulator.hpp"
 #include "core/stats.hpp"
 #include "core/types.hpp"
+#include "gcached/mshr.hpp"
 #include "gcached/shard_lock.hpp"
 #include "locality/sample.hpp"
 #include "obs/shard_metrics.hpp"
@@ -92,13 +109,25 @@ inline std::size_t shard_capacity_share(std::size_t capacity,
   return capacity / num_shards + (s < capacity % num_shards ? 1 : 0);
 }
 
+/// How a miss's simulated backend fill is slept (see file comment).
+enum class FillMode {
+  kSync,   ///< fill slept holding the shard (compat/differential baseline)
+  kAsync,  ///< MSHR path: lock released across the fill, misses coalesce
+};
+
 struct GcachedConfig {
   std::size_t num_shards = 1;
   std::size_t capacity = 0;
-  /// Simulated synchronous backend fill charged on every miss, slept while
-  /// the missed shard is held exclusively. 0 = pure in-memory transitions
-  /// (the differential-test configuration).
+  /// Simulated backend fill charged on every miss. 0 = pure in-memory
+  /// transitions (the differential-test configuration; both fill modes
+  /// then run the identical lock-held transition sequence).
   std::uint64_t fill_latency_ns = 0;
+  FillMode fill_mode = FillMode::kAsync;
+  /// Per-shard MSHR entries: max concurrently in-flight block fills per
+  /// shard in async mode. A miss arriving with every register busy falls
+  /// back to an unqueued (non-coalescible) fill rather than waiting for a
+  /// register.
+  std::size_t mshr_entries = 8;
   BackoffConfig backoff;
 };
 
@@ -163,11 +192,13 @@ class ShardedCache final : public ConcurrentCache {
                 (cfg_.backoff.base_sleep_ns - 1)) == 0 &&
                    cfg_.backoff.base_sleep_ns > 0,
                "backoff base_sleep_ns must be a power of two");
+    GC_REQUIRE(cfg_.mshr_entries >= 1,
+               "gcached needs at least one MSHR entry per shard");
     shards_.reserve(cfg_.num_shards);
     for (std::size_t s = 0; s < cfg_.num_shards; ++s) {
       shards_.push_back(std::make_unique<Shard>(
           *map_, shard_capacity_share(cfg_.capacity, cfg_.num_shards, s),
-          make_policy));
+          cfg_.mshr_entries, make_policy));
       Shard& shard = *shards_.back();
       // The exact setup sequence of simulate_fast, minus prepare() (online
       // policies only — enforced by the factory's escape hatch).
@@ -180,54 +211,13 @@ class ShardedCache final : public ConcurrentCache {
   void access(ClientContext& ctx, ItemId item, BlockId block) override {
     const std::size_t si = shard_of_block(block, shards_.size());
     Shard& shard = *shards_[si];
-    // Monitoring publishes are deltas of state we already maintain (partial
-    // SimStats, ClientContext counters) pushed into per-shard relaxed
-    // atomics — one predictable branch when no atlas is attached, zero code
-    // under GCACHING_OBS=OFF (GC_MON_ATTACHED is then compile-time false).
-    GC_MON_ATLAS(mon, atlas_.load(std::memory_order_acquire));
-    [[maybe_unused]] std::uint64_t mon_acq = 0, mon_try = 0, mon_boff = 0;
-    if (GC_MON_ATTACHED(mon)) {
-      mon_acq = ctx.lock_acquisitions;
-      mon_try = ctx.backoff_rounds;  // == failed try_locks, see shard_lock
-      mon_boff = ctx.backoff_ns;
-    }
-    ShardGuard guard(shard.lock, ctx, cfg_.backoff);
-    // Single-writer-per-shard invariant: the exclusive lock makes the flag
-    // race-free, so a firing check means a lock-discipline bug (an access
-    // path that skipped ShardGuard), not a data race.
-    GC_HOT_CHECK(!shard.writer_active,
-                 "single-writer-per-shard invariant violated");
-    if constexpr (kHotChecksEnabled) shard.writer_active = true;
-    // fast_step maintains only the non-derivable counters (misses, spatial
-    // hits); hits are 1 - miss per access, and sideloads accumulate in
-    // CacheContents — delta those sources directly.
-    [[maybe_unused]] const std::uint64_t sideloads_before =
-        shard.cache.sideloads();
-    const std::uint64_t misses_before = shard.partial.misses;
-    detail::fast_step(shard.cache, shard.policy, shard.partial, item, block);
-    ++shard.accesses;
-    if (GC_MON_ATTACHED(mon)) {
-      [[maybe_unused]] const std::uint64_t miss_delta =
-          shard.partial.misses - misses_before;
-      GC_MON_SHARD_ADD(mon, si, hits, 1 - miss_delta);
-      GC_MON_SHARD_ADD(mon, si, misses, miss_delta);
-      GC_MON_SHARD_ADD(mon, si, sideloads,
-                       shard.cache.sideloads() - sideloads_before);
-      GC_MON_SHARD_ADD(mon, si, lock_acquisitions,
-                       ctx.lock_acquisitions - mon_acq);
-      GC_MON_SHARD_ADD(mon, si, trylock_failures,
-                       ctx.backoff_rounds - mon_try);
-      GC_MON_SHARD_ADD(mon, si, backoff_ns, ctx.backoff_ns - mon_boff);
-      GC_MON_SHARD_SET(mon, si, residency, shard.cache.occupancy());
-    }
-    if constexpr (kHotChecksEnabled) shard.writer_active = false;
-    if (cfg_.fill_latency_ns != 0 && shard.partial.misses != misses_before) {
-      // Synchronous fill: the shard stays held (its writer is blocked on
-      // the backend), threads on other shards keep going. Slept inside the
-      // guard on purpose — this is the contention the bench measures.
-      // GCLINT-ALLOW(lock-discipline, hot-region-blocking): deliberate simulated synchronous fill; holding the shard across the sleep IS the modeled contention (docs/CONCURRENCY.md)
-      std::this_thread::sleep_for(
-          std::chrono::nanoseconds(cfg_.fill_latency_ns));
+    // fill_latency == 0 always takes the sync path: the transitions are
+    // lock-held and identical in both modes, so the async machinery would
+    // only add probes — and the differential anchor gets one code path.
+    if (cfg_.fill_mode == FillMode::kAsync && cfg_.fill_latency_ns != 0) {
+      access_async(ctx, shard, si, item, block);
+    } else {
+      access_sync(ctx, shard, si, item, block);
     }
   }
 
@@ -283,13 +273,266 @@ class ShardedCache final : public ConcurrentCache {
     ShardLock lock;
     CacheContents cache;
     Policy policy;
+    MshrTable mshr;         ///< in-flight fills; mutated under `lock` only
     SimStats partial;       ///< non-derivable counters only (fast_step)
     std::uint64_t accesses = 0;
     bool writer_active = false;  ///< checking builds only; guarded by `lock`
 
-    Shard(const BlockMap& map, std::size_t capacity, MakePolicy& make)
-        : cache(map, capacity), policy(make()) {}
+    Shard(const BlockMap& map, std::size_t capacity, std::size_t mshrs,
+          MakePolicy& make)
+        : cache(map, capacity), policy(make()), mshr(mshrs) {}
   };
+
+  /// Single-writer-per-shard invariant, RAII form for the multi-hold async
+  /// path: the exclusive lock makes the flag race-free, so a firing check
+  /// means a lock-discipline bug (an access path that skipped ShardGuard),
+  /// not a data race. Compiles to nothing under GC_FAST_SIM.
+  struct WriterScope {
+    Shard& shard;
+    GC_HOT_REGION_BEGIN(gcached_writer_scope)
+    explicit WriterScope(Shard& s) : shard(s) {
+      GC_HOT_CHECK(!shard.writer_active,
+                   "single-writer-per-shard invariant violated");
+      if constexpr (kHotChecksEnabled) shard.writer_active = true;
+    }
+    ~WriterScope() {
+      if constexpr (kHotChecksEnabled) shard.writer_active = false;
+    }
+    GC_HOT_REGION_END(gcached_writer_scope)
+    WriterScope(const WriterScope&) = delete;
+    WriterScope& operator=(const WriterScope&) = delete;
+  };
+
+  GC_HOT_REGION_BEGIN(gcached_access_sync)
+  /// The legacy lock-held transition: classify + transition + (for sync
+  /// mode) sleep the fill while still holding the shard. Also the shared
+  /// zero-latency path of both modes.
+  void access_sync(ClientContext& ctx, Shard& shard,
+                   [[maybe_unused]] std::size_t si, ItemId item,
+                   BlockId block) {
+    // Monitoring publishes are deltas of state we already maintain (partial
+    // SimStats, ClientContext counters) pushed into per-shard relaxed
+    // atomics — one predictable branch when no atlas is attached, zero code
+    // under GCACHING_OBS=OFF (GC_MON_ATTACHED is then compile-time false).
+    GC_MON_ATLAS(mon, atlas_.load(std::memory_order_acquire));
+    [[maybe_unused]] std::uint64_t mon_acq = 0, mon_try = 0, mon_boff = 0;
+    if (GC_MON_ATTACHED(mon)) {
+      mon_acq = ctx.lock_acquisitions;
+      mon_try = ctx.backoff_rounds;  // == failed try_locks, see shard_lock
+      mon_boff = ctx.backoff_ns;
+    }
+    ShardGuard guard(shard.lock, ctx, cfg_.backoff);
+    WriterScope writer(shard);
+    // fast_step maintains only the non-derivable counters (misses, spatial
+    // hits); hits are 1 - miss per access, and sideloads accumulate in
+    // CacheContents — delta those sources directly.
+    [[maybe_unused]] const std::uint64_t sideloads_before =
+        shard.cache.sideloads();
+    const std::uint64_t misses_before = shard.partial.misses;
+    detail::fast_step(shard.cache, shard.policy, shard.partial, item, block);
+    ++shard.accesses;
+    if (GC_MON_ATTACHED(mon)) {
+      [[maybe_unused]] const std::uint64_t miss_delta =
+          shard.partial.misses - misses_before;
+      GC_MON_SHARD_ADD(mon, si, hits, 1 - miss_delta);
+      GC_MON_SHARD_ADD(mon, si, misses, miss_delta);
+      GC_MON_SHARD_ADD(mon, si, sideloads,
+                       shard.cache.sideloads() - sideloads_before);
+      GC_MON_SHARD_ADD(mon, si, lock_acquisitions,
+                       ctx.lock_acquisitions - mon_acq);
+      GC_MON_SHARD_ADD(mon, si, trylock_failures,
+                       ctx.backoff_rounds - mon_try);
+      GC_MON_SHARD_ADD(mon, si, backoff_ns, ctx.backoff_ns - mon_boff);
+      GC_MON_SHARD_SET(mon, si, residency, shard.cache.occupancy());
+    }
+    if (cfg_.fill_latency_ns != 0 && shard.partial.misses != misses_before) {
+      // Synchronous fill: the shard stays held (its writer is blocked on
+      // the backend), threads on other shards keep going. Slept inside the
+      // guard on purpose — this compat mode IS the serialization baseline
+      // the async gate in CI compares against. The sleep itself lives in
+      // shard_lock.hpp (`backend_fill`), the one blocking home the
+      // unconditional lock-discipline rule recognises.
+      backend_fill(cfg_.fill_latency_ns);
+    }
+  }
+  GC_HOT_REGION_END(gcached_access_sync)
+
+  GC_HOT_REGION_BEGIN(gcached_access_async)
+  /// The MSHR fill path: no thread ever sleeps while holding the shard.
+  /// Per iteration, one exclusive hold classifies the access; a miss either
+  /// registers an in-flight fill (then sleeps UNLOCKED and re-acquires to
+  /// commit) or coalesces onto an existing one (then parks on its FillGate
+  /// and re-classifies after the wake). docs/CONCURRENCY.md documents the
+  /// protocol; tests/test_gcached.cpp pins coalescing, conservation, and
+  /// the free-delayed-hit taxonomy.
+  void access_async(ClientContext& ctx, Shard& shard,
+                    [[maybe_unused]] std::size_t si, ItemId item,
+                    BlockId block) {
+    GC_MON_ATLAS(mon, atlas_.load(std::memory_order_acquire));
+    std::uint64_t waited_ns = 0;
+    for (;;) {
+      FillGate* wait_gate = nullptr;
+      std::uint64_t wait_epoch = 0;
+      Mshr* fill_entry = nullptr;
+      bool unqueued_fill = false;
+      {
+        [[maybe_unused]] std::uint64_t mon_acq = 0, mon_try = 0, mon_boff = 0;
+        if (GC_MON_ATTACHED(mon)) {
+          mon_acq = ctx.lock_acquisitions;
+          mon_try = ctx.backoff_rounds;
+          mon_boff = ctx.backoff_ns;
+        }
+        ShardGuard guard(shard.lock, ctx, cfg_.backoff);
+        WriterScope writer(shard);
+        if (GC_MON_ATTACHED(mon)) {
+          GC_MON_SHARD_ADD(mon, si, lock_acquisitions,
+                           ctx.lock_acquisitions - mon_acq);
+          GC_MON_SHARD_ADD(mon, si, trylock_failures,
+                           ctx.backoff_rounds - mon_try);
+          GC_MON_SHARD_ADD(mon, si, backoff_ns, ctx.backoff_ns - mon_boff);
+        }
+        if (shard.cache.contains(item)) {
+          if (waited_ns == 0) {
+            // Plain hit: the exact fast_step hit arm (its own contains
+            // probe re-confirms under the same hold).
+            detail::fast_step(shard.cache, shard.policy, shard.partial, item,
+                              block);
+            ++shard.accesses;
+            if (GC_MON_ATTACHED(mon)) {
+              GC_MON_SHARD_ADD(mon, si, hits, 1);
+              GC_MON_SHARD_SET(mon, si, residency, shard.cache.occupancy());
+            }
+            return;
+          }
+          // Resident after a wait: a DELAYED hit — the access was served by
+          // a fill already in flight when it arrived. Not a hit (the item
+          // was absent at access time), not a miss (no fill was issued).
+          // The hit taxonomy doubles as the free-delayed-hit classifier:
+          // kSpatial means the waiter's item was only ever *sideloaded* by
+          // the pending fill — spatial locality paid for the wait.
+          commit_delayed_hit(shard, item, waited_ns);
+          ++shard.accesses;
+          if (GC_MON_ATTACHED(mon)) {
+            GC_MON_SHARD_ADD(mon, si, delayed_hits, 1);
+            GC_MON_SHARD_SET(mon, si, residency, shard.cache.occupancy());
+          }
+          return;
+        }
+        // Miss. Coalesce onto an in-flight fill of this block if there is
+        // one; otherwise claim an MSHR register; when every register is
+        // busy, fall back to an unqueued fill (never wait for a register
+        // while holding the shard).
+        if (Mshr* inflight = shard.mshr.find(block)) {
+          ++inflight->coalesced;
+          wait_gate = &inflight->gate;
+          wait_epoch = wait_gate->epoch();
+          if (GC_MON_ATTACHED(mon)) {
+            GC_MON_SHARD_ADD(mon, si, coalesced, 1);
+          }
+        } else if ((fill_entry = shard.mshr.claim(block)) != nullptr) {
+          if (GC_MON_ATTACHED(mon)) {
+            GC_MON_SHARD_SET(mon, si, mshr_inflight, shard.mshr.inflight());
+          }
+        } else {
+          unqueued_fill = true;
+        }
+      }  // shard released — nothing below blocks while holding it.
+      if (wait_gate != nullptr) {
+        // If the commit already happened, the epoch has moved and this
+        // returns immediately (see FillGate). Re-classify after the wake:
+        // the usual outcome is the delayed-hit branch above, but the item
+        // may not have been sideloaded (item policies never sideload) or
+        // may already be evicted again — then the loop simply retries as a
+        // fresh access, fill included.
+        waited_ns += wait_gate->await_past(wait_epoch);
+        continue;
+      }
+      // This thread owns the fill: sleep it with no lock held, then
+      // re-acquire to commit. Other threads hit/miss/fill this shard's
+      // OTHER blocks during the sleep — that overlap is the whole point.
+      backend_fill(cfg_.fill_latency_ns);
+      commit_fill(ctx, shard, si, item, block, fill_entry, unqueued_fill);
+      return;
+    }
+  }
+
+  /// Commit of a fill this thread slept. Re-acquires the shard; the
+  /// residency RE-CHECK is load-bearing: an unqueued (MSHR-overflow) fill
+  /// of the same block may have committed our item during the unlocked
+  /// window, and `begin_miss` on a resident item is a contract violation —
+  /// the access then lands as a delayed hit that waited the full fill.
+  void commit_fill(ClientContext& ctx, Shard& shard,
+                   [[maybe_unused]] std::size_t si, ItemId item, BlockId block,
+                   Mshr* fill_entry, [[maybe_unused]] bool unqueued_fill) {
+    GC_MON_ATLAS(mon, atlas_.load(std::memory_order_acquire));
+    [[maybe_unused]] std::uint64_t mon_acq = 0, mon_try = 0, mon_boff = 0;
+    if (GC_MON_ATTACHED(mon)) {
+      mon_acq = ctx.lock_acquisitions;
+      mon_try = ctx.backoff_rounds;
+      mon_boff = ctx.backoff_ns;
+    }
+    ShardGuard guard(shard.lock, ctx, cfg_.backoff);
+    WriterScope writer(shard);
+    [[maybe_unused]] const std::uint64_t sideloads_before =
+        shard.cache.sideloads();
+    if (!shard.cache.contains(item)) {
+      // fast_step re-probes residency under this same hold and takes its
+      // miss arm: begin_miss/on_miss/end_miss, the exact sequential
+      // transition, now merely time-shifted to the fill's completion.
+      detail::fast_step(shard.cache, shard.policy, shard.partial, item,
+                        block);
+      if (GC_MON_ATTACHED(mon)) {
+        GC_MON_SHARD_ADD(mon, si, misses, 1);
+      }
+    } else {
+      commit_delayed_hit(shard, item, cfg_.fill_latency_ns);
+      if (GC_MON_ATTACHED(mon)) {
+        GC_MON_SHARD_ADD(mon, si, delayed_hits, 1);
+      }
+    }
+    ++shard.accesses;
+    if (fill_entry != nullptr) {
+      // Release the register and wake every coalesced waiter. Both happen
+      // under this same hold, so a recycled entry can never be observed
+      // with a stale epoch (see FillGate's protocol comment).
+      FillGate& gate = fill_entry->gate;
+      shard.mshr.release(fill_entry);
+      gate.advance();
+    }
+    if (GC_MON_ATTACHED(mon)) {
+      GC_MON_SHARD_ADD(mon, si, sideloads,
+                       shard.cache.sideloads() - sideloads_before);
+      GC_MON_SHARD_ADD(mon, si, lock_acquisitions,
+                       ctx.lock_acquisitions - mon_acq);
+      GC_MON_SHARD_ADD(mon, si, trylock_failures,
+                       ctx.backoff_rounds - mon_try);
+      GC_MON_SHARD_ADD(mon, si, backoff_ns, ctx.backoff_ns - mon_boff);
+      GC_MON_SHARD_SET(mon, si, mshr_inflight, shard.mshr.inflight());
+      GC_MON_SHARD_SET(mon, si, residency, shard.cache.occupancy());
+    }
+  }
+
+  /// The delayed-hit transition, shared by the waiter-wake and double-fill
+  /// paths. Must run under the shard's exclusive lock. Mirrors fast_step's
+  /// hit arm for the cache/policy transition, but charges the dedicated
+  /// delayed-hit counters instead of the hit taxonomy: delayed hits are
+  /// excluded from hits (and thus from temporal/spatial) by
+  /// `fast_finalize`'s `hits = accesses - misses - delayed_hits`.
+  void commit_delayed_hit(Shard& shard, ItemId item, std::uint64_t wait_ns) {
+    HitKind kind = HitKind::kTemporal;
+    if constexpr (detail::kRequestedOnly<Policy>) {
+      // Requested-loads-only policies never sideload, so a resident waiter
+      // item was the fill's own requested load — never a free delayed hit.
+      shard.cache.record_requested_hit(item);
+    } else {
+      kind = shard.cache.record_hit(item);
+    }
+    shard.policy.on_hit(item);
+    ++shard.partial.delayed_hits;
+    if (kind == HitKind::kSpatial) ++shard.partial.free_delayed_hits;
+    shard.partial.delayed_hit_wait_ns += wait_ns;
+  }
+  GC_HOT_REGION_END(gcached_access_async)
 
   std::shared_ptr<const BlockMap> map_;
   GcachedConfig cfg_;

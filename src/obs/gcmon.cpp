@@ -193,6 +193,12 @@ std::string Monitor::prometheus_text(const Snapshot& snap) const {
   family(os, snap, "gcached_shard_sideloads_total", "counter",
          "Items sideloaded into this shard by block fills.",
          &ShardValues::sideloads);
+  family(os, snap, "gcached_shard_delayed_hits_total", "counter",
+         "Accesses served by an in-flight fill (MSHR coalescing).",
+         &ShardValues::delayed_hits);
+  family(os, snap, "gcached_shard_coalesced_waiters_total", "counter",
+         "Waiters parked on an in-flight MSHR entry.",
+         &ShardValues::coalesced);
   family(os, snap, "gcached_shard_lock_acquisitions_total", "counter",
          "Exclusive shard-lock acquisitions.",
          &ShardValues::lock_acquisitions);
@@ -205,6 +211,9 @@ std::string Monitor::prometheus_text(const Snapshot& snap) const {
   family(os, snap, "gcached_shard_residency_items", "gauge",
          "Items currently resident in this shard's cache.",
          &ShardValues::residency);
+  family(os, snap, "gcached_shard_mshr_inflight", "gauge",
+         "Block fills currently in flight in this shard's MSHR table.",
+         &ShardValues::mshr_inflight);
   scalar(os, "gcached_latency_count", "gauge",
          "Operations recorded by the merged latency histogram.",
          static_cast<double>(snap.latency.count));
@@ -230,10 +239,13 @@ namespace {
 void json_shard(std::ostringstream& os, const ShardValues& v) {
   os << "{\"hits\": " << v.hits << ", \"misses\": " << v.misses
      << ", \"sideloads\": " << v.sideloads
+     << ", \"delayed_hits\": " << v.delayed_hits
+     << ", \"coalesced\": " << v.coalesced
      << ", \"lock_acquisitions\": " << v.lock_acquisitions
      << ", \"trylock_failures\": " << v.trylock_failures
      << ", \"backoff_ns\": " << v.backoff_ns
-     << ", \"residency\": " << v.residency << '}';
+     << ", \"residency\": " << v.residency
+     << ", \"mshr_inflight\": " << v.mshr_inflight << '}';
 }
 
 }  // namespace

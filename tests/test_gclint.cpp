@@ -868,9 +868,25 @@ TEST(GclintAllowHygiene, AllowHygieneCannotSuppressItself) {
       findings_for_rule(gclint::lint(files), "allow-hygiene").size(), 1u);
 }
 
-TEST(GclintAllowHygiene, CommaListSuppressesEveryNamedRule) {
-  // The sharded_cache.hpp sanctioning pattern: one annotation covering both
-  // the guard-lifetime rule and the hot-region blocking rule.
+TEST(GclintAllowHygiene, CommaListSuppressesEveryNamedSuppressibleRule) {
+  // One annotation, two rules firing on the same line — both suppressed.
+  const std::vector<SourceFile> files = {{"src/core/engine.hpp", R"cpp(
+GC_HOT_REGION_BEGIN(per_access)
+inline void nap() {
+  // GCLINT-ALLOW(hot-region-blocking, hot-region-raw-clock): calibration nap
+  std::this_thread::sleep_until(std::chrono::steady_clock::now());
+}
+GC_HOT_REGION_END(per_access)
+)cpp"}};
+  EXPECT_TRUE(gclint::lint(files).empty());
+}
+
+TEST(GclintAllowHygiene, LockDisciplineCannotBeAllowed) {
+  // The retired sharded_cache.hpp sanctioning pattern: since the MSHR fill
+  // path proved blocking can always release the shard first, lock-discipline
+  // became non-suppressible. The annotation still silences the (suppressible)
+  // hot-region-blocking finding, but lock-discipline fires straight through
+  // it and allow-hygiene flags the annotation as ineffective.
   const std::vector<SourceFile> files = {{"src/gcached/cache.hpp", R"cpp(
 GC_HOT_REGION_BEGIN(gcached_access)
 inline void access(Shard& shard, ClientContext& ctx, BackoffConfig cfg) {
@@ -880,7 +896,12 @@ inline void access(Shard& shard, ClientContext& ctx, BackoffConfig cfg) {
 }
 GC_HOT_REGION_END(gcached_access)
 )cpp"}};
-  EXPECT_TRUE(gclint::lint(files).empty());
+  const auto findings = gclint::lint(files);
+  EXPECT_TRUE(findings_for_rule(findings, "hot-region-blocking").empty());
+  ASSERT_EQ(findings_for_rule(findings, "lock-discipline").size(), 1u);
+  const auto hygiene = findings_for_rule(findings, "allow-hygiene");
+  ASSERT_EQ(hygiene.size(), 1u);
+  EXPECT_NE(hygiene[0].message.find("non-suppressible"), std::string::npos);
 }
 
 TEST(GclintAllowHygiene, AnnotationBridgesContiguousCommentLines) {

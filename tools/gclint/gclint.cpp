@@ -248,15 +248,22 @@ void check_lock_discipline(const FileModel& m, std::vector<Finding>& out) {
     std::vector<LiveGuard> live;
     int depth = 0;
     std::size_t last_line = 0;  // one finding per line
+    // Deliberately bypasses add(): lock-discipline is NOT suppressible.
+    // Since the MSHR fill path proved every blocking case can release the
+    // shard first (register in flight, sleep unlocked, re-acquire to
+    // commit), there is no legitimate residual use of GCLINT-ALLOW here —
+    // no blocking under a shard guard, period.
     const auto flag = [&](std::size_t line, const std::string& what) {
       if (line == last_line) return;
       last_line = line;
       const LiveGuard& g = live.front();
-      add(out, m, line, kRule,
-          what + " while shard guard '" + g.name + "' (line " +
-              std::to_string(g.line) +
-              ") is live — the shard's clients all stall behind this; move "
-              "the work outside the guard");
+      out.push_back(
+          {m.file->path, line, kRule,
+           what + " while shard guard '" + g.name + "' (line " +
+               std::to_string(g.line) +
+               ") is live — the shard's clients all stall behind this; move "
+               "the work outside the guard (the MSHR pattern: publish "
+               "in-flight state, release, re-acquire to commit)"});
     };
     for (std::size_t i = f.body_begin; i < f.body_end && i < m.tokens.size();
          ++i) {
@@ -277,10 +284,12 @@ void check_lock_discipline(const FileModel& m, std::vector<Finding>& out) {
         if (j == std::string::npos || m.tokens[j].kind != Tok::kIdent)
           continue;  // type mention, not a named guard declaration
         if (!live.empty()) {
-          add(out, m, t.line, kRule,
-              "second shard guard acquired while '" + live.front().name +
-                  "' (line " + std::to_string(live.front().line) +
-                  ") is live — shard lock order is undefined, deadlock risk");
+          out.push_back(
+              {m.file->path, t.line, kRule,
+               "second shard guard acquired while '" + live.front().name +
+                   "' (line " + std::to_string(live.front().line) +
+                   ") is live — shard lock order is undefined, deadlock "
+                   "risk"});
         }
         live.push_back({m.tokens[j].text, t.line, depth});
         continue;
@@ -843,11 +852,20 @@ void check_allow_hygiene(const Program& prog, std::vector<Finding>& out) {
         out.push_back({m.file->path, a.line, kRule,
                        "GCLINT-ALLOW names no rule — write "
                        "GCLINT-ALLOW(rule[, rule...]): reason"});
-      for (const std::string& r : a.rules)
-        if (!is_known_rule(r))
+      for (const std::string& r : a.rules) {
+        if (!is_known_rule(r)) {
           out.push_back({m.file->path, a.line, kRule,
                          "GCLINT-ALLOW names unknown rule '" + r +
                              "' — see the rule catalog in docs/ANALYSIS.md"});
+        } else if (r == "lock-discipline") {
+          out.push_back(
+              {m.file->path, a.line, kRule,
+               "GCLINT-ALLOW(lock-discipline) has no effect — the rule is "
+               "non-suppressible since the async MSHR fill path removed the "
+               "last sanctioned blocking-under-guard site; restructure the "
+               "code to release the shard instead (docs/ANALYSIS.md)"});
+        }
+      }
     }
   }
 }
@@ -880,7 +898,8 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"lock-discipline",
        "While a ShardGuard/SharedShardGuard is live: no blocking calls, no "
        "file I/O, no allocation or container growth, no second shard guard "
-       "(deadlock risk)."},
+       "(deadlock risk). Non-suppressible — no blocking under a guard, "
+       "period; fills go through the MSHR release/re-acquire protocol."},
       {"hot-region-transitive",
        "Allocation/throw/raw-obs/raw-lock bans follow the call graph: they "
        "apply to every function reachable from a hot-region call site."},

@@ -7,6 +7,8 @@
 //                   [--threads T] [--csv FILE] [--obs DIR] [--progress]
 //   gcsim gcached   --workload FILE --capacity N [--policy SPEC]
 //                   [--shards S] [--threads N] [--ops N] [--fill-us F]
+//                   [--fill-mode sync|async] [--mshrs N]
+//                   [--arrival closed|poisson] [--rate OPS]
 //                   [--metrics-out FILE] [--mon-jsonl FILE] [--perf]
 //   gcsim profile   --workload FILE [--windows N1,N2,..]
 //   gcsim adversary --type item|block|general --policy SPEC
@@ -489,6 +491,19 @@ int cmd_gcached(const Args& args) {
   cfg.num_shards = static_cast<std::size_t>(shards);
   cfg.fill_latency_ns =
       static_cast<std::uint64_t>(args.get_f64("fill-us", 0.0) * 1000.0);
+  // --fill-mode async (default) sleeps fills on the MSHR path with the
+  // shard released; sync restores the legacy hold-the-lock fill.
+  const std::string fill_mode = args.get("fill-mode", std::string("async"));
+  if (fill_mode == "async") {
+    cfg.fill_mode = gcached::FillMode::kAsync;
+  } else if (fill_mode == "sync") {
+    cfg.fill_mode = gcached::FillMode::kSync;
+  } else {
+    std::cerr << "unknown --fill-mode " << fill_mode << " (sync|async)\n";
+    return 2;
+  }
+  cfg.mshr_entries =
+      static_cast<std::size_t>(args.get_u64("mshrs", cfg.mshr_entries));
   const std::string spec = args.get("policy", std::string("item-lru"));
   const auto cache = gcached::make_concurrent_cache(spec, w.map, cfg);
 
@@ -497,6 +512,20 @@ int cmd_gcached(const Args& args) {
   load.total_ops = args.get_u64("ops", 0);  // 0 = one trace pass
   load.seed = args.get_u64("seed", 1);
   load.perf = args.has("perf");
+  // --arrival poisson switches the clients open-loop at --rate ops/sec
+  // aggregate (latency then includes queuing delay; see loadgen.hpp).
+  const std::string arrival = args.get("arrival", std::string("closed"));
+  if (arrival == "poisson") {
+    load.arrival = gcached::Arrival::kPoisson;
+    load.rate_ops_per_sec = args.get_f64("rate", 0.0);
+    if (load.rate_ops_per_sec <= 0.0) {
+      std::cerr << "--arrival poisson needs --rate OPS_PER_SEC > 0\n";
+      return 2;
+    }
+  } else if (arrival != "closed") {
+    std::cerr << "unknown --arrival " << arrival << " (closed|poisson)\n";
+    return 2;
+  }
 
   require_obs_build(args);
   std::optional<ObsSinks> sinks;
@@ -563,6 +592,22 @@ int cmd_gcached(const Args& args) {
   table.add_row({"miss rate", TextTable::fmt(res.stats.miss_rate(), 4)});
   table.add_row({"spatial share",
                  TextTable::fmt(res.stats.spatial_hit_share(), 3)});
+  // AMAT folds fill latency and delayed-hit waits into one per-access cost;
+  // with --fill-us 0 it is 0 and the delayed counters stay 0 by design.
+  table.add_row({"AMAT us",
+                 TextTable::fmt(res.stats.amat_ns(cfg.fill_latency_ns) * 1e-3,
+                                2)});
+  table.add_row({"delayed hits", TextTable::fmt_int(res.stats.delayed_hits)});
+  table.add_row(
+      {"free delayed hits", TextTable::fmt_int(res.stats.free_delayed_hits)});
+  if (load.arrival == gcached::Arrival::kPoisson) {
+    table.add_row({"offered ops/sec",
+                   TextTable::fmt_int(static_cast<std::uint64_t>(
+                       res.offered_ops_per_sec))});
+    table.add_row({"achieved ops/sec",
+                   TextTable::fmt_int(
+                       static_cast<std::uint64_t>(res.ops_per_sec))});
+  }
   table.add_row({"lock acquisitions", TextTable::fmt_int(res.lock_acquisitions)});
   table.add_row({"lock contended", TextTable::fmt_int(res.lock_contended)});
   table.add_row({"backoff rounds", TextTable::fmt_int(res.backoff_rounds)});
@@ -843,11 +888,12 @@ subcommands:
              (block-consistent; binary inputs stream without materializing)
              and reports rescaled full-trace estimates — see docs/PERF.md
   gcached    replay a workload through the concurrent sharded runtime with
-             closed-loop client threads — see docs/CONCURRENCY.md
+             closed-loop or poisson client threads — see docs/CONCURRENCY.md
              --workload FILE --capacity N [--policy SPEC] [--shards S]
-             [--threads N] [--ops N] [--fill-us F] [--seed S] [--obs DIR]
-             [--metrics-out FILE] [--mon-jsonl FILE] [--mon-interval-ms M]
-             [--mon-ring N] [--perf]
+             [--threads N] [--ops N] [--fill-us F] [--fill-mode sync|async]
+             [--mshrs N] [--arrival closed|poisson] [--rate OPS] [--seed S]
+             [--obs DIR] [--metrics-out FILE] [--mon-jsonl FILE]
+             [--mon-interval-ms M] [--mon-ring N] [--perf]
              live monitoring (gcmon): --metrics-out rewrites a Prometheus
              exposition atomically every M ms, --mon-jsonl appends one
              snapshot per harvest, --perf captures per-thread hardware
